@@ -1,0 +1,62 @@
+// Command calibrate checks each workload generator's ideal statistics
+// against the paper's published Tables 1-2 values, printing measured vs
+// target with the measured/target ratio. Extensive quantities are divided
+// by the scale so every row is directly comparable with the paper.
+//
+// Usage:
+//
+//	calibrate [-scale 0.25] [-seed 1] [-only Grav]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+	"syncsim/internal/workload/suite"
+)
+
+func main() {
+	scaleFlag := flag.Float64("scale", 0.25, "generation scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	only := flag.String("only", "", "single benchmark")
+	flag.Parse()
+	scale := *scaleFlag
+
+	status := 0
+	for _, b := range suite.All() {
+		if *only != "" && b.Program.Name() != *only {
+			continue
+		}
+		start := time.Now()
+		set, err := b.Program.Generate(workload.Params{Scale: scale, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %s: %v\n", b.Program.Name(), err)
+			status = 1
+			continue
+		}
+		s := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+		t := b.Paper
+		fmt.Printf("%-9s gen=%v\n", s.Name, time.Since(start).Round(time.Millisecond))
+		line := func(label string, got, want float64) {
+			ratio := 0.0
+			if want > 0 {
+				ratio = got / want
+			}
+			fmt.Printf("  %-8s %10.0f / %10.0f  (x%.2f)\n", label, got, want, ratio)
+		}
+		line("workK", s.WorkCycles/1000/scale, t.WorkKCycles)
+		line("refsK", s.Refs/1000/scale, t.RefsK)
+		line("dataK", s.DataRefs/1000/scale, t.DataK)
+		line("sharedK", s.SharedRefs/1000/scale, t.SharedK)
+		line("pairs", s.LockPairs/scale, t.LockPairs)
+		line("nested", s.NestedLocks/scale, t.NestedLocks)
+		line("avgHeld", s.AvgHeld, t.AvgHeld)
+		line("pctHeld", s.PctTime, t.PctTime)
+	}
+	os.Exit(status)
+}

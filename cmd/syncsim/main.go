@@ -1,0 +1,194 @@
+// Command syncsim simulates one benchmark (or a trace file) on the
+// modelled shared-bus multiprocessor and reports the paper's runtime and
+// contention metrics.
+//
+// Usage:
+//
+//	syncsim -bench Grav [-scale 0.2] [-lock queue|tts] [-cons sc|wo] [-ncpu N] [-seed N]
+//	syncsim -trace prog.trc [-lock tts] [-cons wo]
+//	syncsim -arch      # print the modelled architecture (the paper's Figure 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/machine"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+	"syncsim/internal/workload/suite"
+)
+
+const archDiagram = `Modelled architecture (paper Figure 1, Sequent Symmetry Model B-like):
+
+  +--------+   +--------+        +--------+
+  | CPU 0  |   | CPU 1  |  ...   | CPU n  |     per CPU:
+  +--------+   +--------+        +--------+       64 KB cache, 2-way,
+  | cache  |   | cache  |        | cache  |       16 B lines, write-back,
+  +--------+   +--------+        +--------+       LRU, Illinois (MESI)
+  | buffer |   | buffer |        | buffer |     4-entry cache-bus buffer
+  +---+----+   +---+----+        +---+----+     (dirty lines snoopable)
+      |            |                 |
+  ====+============+=================+=======   64-bit split-transaction bus,
+                       |                        round-robin arbitration
+              +--------+--------+
+              | in-buffer  (2)  |
+              |     MEMORY      |               3-cycle access
+              | out-buffer (2)  |
+              +-----------------+
+
+Uncontended miss: 1 (request) + 3 (memory) + 2 (line transfer) = 6 cycles.
+Cache-to-cache supply: 3 cycles. Upgrade invalidation: 1 cycle.`
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (Grav, Pdsa, FullConn, Pverify, Qsort, Topopt)")
+	traceFile := flag.String("trace", "", "binary trace file to simulate instead of a benchmark")
+	scale := flag.Float64("scale", 0.2, "workload scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	ncpu := flag.Int("ncpu", 0, "processor count (0 = benchmark default)")
+	lock := flag.String("lock", "queue", "lock algorithm: queue, tts, queue-exact, tts-backoff")
+	cons := flag.String("cons", "sc", "consistency model: sc or wo")
+	bufDepth := flag.Int("buf", 4, "cache-bus buffer depth")
+	arch := flag.Bool("arch", false, "print the modelled architecture and exit")
+	perCPU := flag.Bool("percpu", false, "print per-processor details")
+	hotLocks := flag.Int("locks", 0, "print the N hottest locks by acquisitions")
+	hist := flag.Bool("hist", false, "print the waiters-at-transfer histogram")
+	flag.Parse()
+
+	if *arch {
+		fmt.Println(archDiagram)
+		return
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.BufDepth = *bufDepth
+	switch *lock {
+	case "queue":
+		cfg.Lock = locks.Queue
+	case "tts":
+		cfg.Lock = locks.TTS
+	case "queue-exact":
+		cfg.Lock = locks.QueueExact
+	case "tts-backoff":
+		cfg.Lock = locks.TTSBackoff
+	default:
+		fatal("unknown lock algorithm %q (want queue, tts, queue-exact, tts-backoff)", *lock)
+	}
+	switch *cons {
+	case "sc":
+		cfg.Consistency = machine.SeqConsistent
+	case "wo":
+		cfg.Consistency = machine.WeakOrdering
+	default:
+		fatal("unknown consistency model %q (want sc or wo)", *cons)
+	}
+
+	var set *trace.Set
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		set, err = trace.DecodeSet(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+	case *bench != "":
+		b, err := suite.ByName(*bench)
+		if err != nil {
+			fatal("%v", err)
+		}
+		set, err = b.Program.Generate(workload.Params{NCPU: *ncpu, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("need -bench, -trace, or -arch (benchmarks: %v)", suite.Names())
+	}
+
+	ideal := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+	if err := trace.Reset(set); err != nil {
+		fatal("%v", err)
+	}
+	res, err := machine.Run(set, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("%s  (%d CPUs, lock=%s, consistency=%s)\n", res.Name, len(res.CPUs), cfg.Lock, cfg.Consistency)
+	fmt.Printf("  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
+		ideal.WorkCycles, ideal.Refs, ideal.DataRefs, ideal.SharedRefs, ideal.LockPairs)
+	fmt.Printf("  run-time: %d cycles\n", res.RunTime)
+	fmt.Printf("  util:     %.1f%%\n", 100*res.AvgUtilization())
+	cachePct, lockPct, otherPct := res.StallBreakdown()
+	fmt.Printf("  stalls:   cache %.1f%%  lock %.1f%%  other %.1f%%\n", cachePct, lockPct, otherPct)
+	fmt.Printf("  locks:    %d acquisitions, %d transfers, %.2f waiters at transfer\n",
+		res.Locks.Acquisitions, res.Locks.Transfers, res.Locks.AvgWaitersAtTransfer())
+	fmt.Printf("            held %.0f cycles avg (%.0f at transfers), transfer latency %.1f cycles\n",
+		res.Locks.AvgHold(), res.Locks.AvgTransferHold(), res.Locks.AvgTransferTime())
+	fmt.Printf("  caches:   read hit %.1f%%, write hit %.1f%%\n",
+		100*res.ReadHitRatio(), 100*res.WriteHitRatio())
+	fmt.Printf("  bus:      %.1f%% utilised (%d transactions)\n",
+		100*res.BusUtilization(), res.Bus.Total())
+	fmt.Printf("  memory:   %d reads, %d writes\n", res.Memory.Reads, res.Memory.Writes)
+	if res.DroppedWriteBacks > 0 {
+		fmt.Printf("  note:     %d write-backs dropped (buffer-full corner)\n", res.DroppedWriteBacks)
+	}
+	if *hotLocks > 0 {
+		fmt.Println("  hottest locks:")
+		type row struct {
+			id   uint32
+			info locks.LockInfo
+		}
+		var rows []row
+		for id, info := range res.LockDetails {
+			rows = append(rows, row{id, info})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].info.Acquisitions != rows[j].info.Acquisitions {
+				return rows[i].info.Acquisitions > rows[j].info.Acquisitions
+			}
+			return rows[i].id < rows[j].id
+		})
+		if len(rows) > *hotLocks {
+			rows = rows[:*hotLocks]
+		}
+		for _, r := range rows {
+			fmt.Printf("    lock %-6d @%#x  %8d acquisitions  %8d transfers\n",
+				r.id, r.info.Addr, r.info.Acquisitions, r.info.Transfers)
+		}
+	}
+	if *hist {
+		fmt.Println("  waiters-at-transfer histogram:")
+		for n, count := range res.Locks.WaiterHistogram {
+			if count == 0 {
+				continue
+			}
+			label := fmt.Sprintf("%d", n)
+			if n == len(res.Locks.WaiterHistogram)-1 {
+				label = fmt.Sprintf("%d+", n)
+			}
+			fmt.Printf("    %3s waiters: %8d transfers\n", label, count)
+		}
+	}
+	if *perCPU {
+		fmt.Println("  per-CPU:")
+		for i := range res.CPUs {
+			c := &res.CPUs[i]
+			fmt.Printf("    cpu%-2d work=%-10d finish=%-10d util=%5.1f%% stalls miss=%d lock=%d barrier=%d drain=%d\n",
+				i, c.WorkCycles, c.FinishTime, 100*c.Utilization(),
+				c.StallMiss, c.StallLock, c.StallBarrier, c.StallDrain)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "syncsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command tracegen generates a benchmark's MPTrace-like multiprocessor
+// trace and writes it to a file in the binary container format (or the
+// human-readable text format with -text).
+//
+// Usage:
+//
+//	tracegen -bench Qsort -o qsort.trc [-scale 0.1] [-seed 1] [-ncpu 12] [-text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/suite"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	out := flag.String("o", "", "output file (default <bench>.trc)")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	ncpu := flag.Int("ncpu", 0, "processor count (0 = benchmark default)")
+	text := flag.Bool("text", false, "write the text format instead of binary")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Fprintf(os.Stderr, "tracegen: need -bench (one of %v)\n", suite.Names())
+		os.Exit(2)
+	}
+	b, err := suite.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	set, err := b.Program.Generate(workload.Params{NCPU: *ncpu, Scale: *scale, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = *bench + ".trc"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	if *text {
+		cpus := make([][]trace.Event, set.NCPU())
+		for i, src := range set.Sources {
+			cpus[i] = trace.Drain(src)
+		}
+		err = trace.WriteText(f, set.Name, cpus)
+	} else {
+		err = trace.EncodeSet(f, set)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("wrote %s: %s, %d CPUs, %d bytes\n", path, set.Name, set.NCPU(), info.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

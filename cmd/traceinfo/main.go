@@ -1,0 +1,81 @@
+// Command traceinfo prints the "ideal" statistics of a stored trace — the
+// paper's Tables 1 and 2 quantities: work cycles, reference counts,
+// shared-data fraction, lock pairs, nesting and hold times — plus the
+// hottest lock words.
+//
+// Usage:
+//
+//	traceinfo prog.trc [more.trc ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload/addr"
+)
+
+func main() {
+	hot := flag.Int("hot", 5, "number of hottest locks to list (0 = none)")
+	perCPU := flag.Bool("percpu", false, "print per-processor rows")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "traceinfo: need at least one trace file")
+		os.Exit(2)
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		if err := report(path, *hot, *perCPU); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", path, err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func report(path string, hot int, perCPU bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	set, err := trace.DecodeSet(f)
+	if err != nil {
+		return err
+	}
+	stats := trace.AnalyzeIdeal(set, addr.Shared)
+	s := stats.Summarize()
+
+	fmt.Printf("%s: %q, %d CPUs\n", path, s.Name, s.NCPU)
+	fmt.Printf("  work cycles/cpu: %14.0f\n", s.WorkCycles)
+	fmt.Printf("  refs/cpu:        %14.0f  (data %.0f, shared %.0f = %.0f%%)\n",
+		s.Refs, s.DataRefs, s.SharedRefs, 100*safeDiv(s.SharedRefs, s.DataRefs))
+	fmt.Printf("  lock pairs/cpu:  %14.1f  (nested %.1f)\n", s.LockPairs, s.NestedLocks)
+	if s.LockPairs > 0 {
+		fmt.Printf("  avg held:        %14.1f cycles (%.1f%% of time in locked mode)\n",
+			s.AvgHeld, s.PctTime)
+		fmt.Printf("  distinct locks:  %14d\n", s.Locks)
+	}
+	if hot > 0 {
+		for _, lc := range stats.HotLocks(hot) {
+			fmt.Printf("    %v\n", lc)
+		}
+	}
+	if perCPU {
+		for i := range stats.CPUs {
+			c := &stats.CPUs[i]
+			fmt.Printf("  cpu%-2d work=%-12d refs=%-10d data=%-9d shared=%-9d pairs=%-6d nested=%d\n",
+				i, c.WorkCycles, c.Refs, c.DataRefs, c.SharedRefs, c.LockPairs, c.NestedLocks)
+		}
+	}
+	return nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,3 @@
+module syncsim
+
+go 1.22

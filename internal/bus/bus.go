@@ -1,0 +1,176 @@
+// Package bus models the shared split-transaction bus of the simulated
+// machine: 64 bits of multiplexed address/data, round-robin arbitration
+// among the processors' cache-bus interfaces and the memory controller.
+//
+// The bus is a timing resource only: it tracks who holds it, for how long,
+// and arbitrates fairly among requesters. What a transaction *means*
+// (snooping, memory enqueues, lock hand-offs) is orchestrated by the machine
+// package at grant time.
+package bus
+
+import "fmt"
+
+// Op labels a bus transaction for statistics.
+type Op uint8
+
+const (
+	// OpRead is a read-miss request sent to memory (split transaction).
+	OpRead Op = iota
+	// OpReadOwn is a read-for-ownership request (write miss).
+	OpReadOwn
+	// OpInvalidate is an upgrade invalidation (write hit on Shared).
+	OpInvalidate
+	// OpWriteBack transfers a dirty line to the memory input buffer.
+	OpWriteBack
+	// OpResponse transfers a line from the memory output buffer to a cache.
+	OpResponse
+	// OpCacheToCache transfers a line directly between caches (Illinois
+	// supply, or a queuing-lock hand-off).
+	OpCacheToCache
+
+	numOps
+)
+
+var opNames = [numOps]string{"read", "readown", "invalidate", "writeback", "response", "c2c"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Timing holds the bus occupancy of each transaction type in cycles. The
+// paper's machine moves a 16-byte line over an 8-byte-wide bus, so data
+// transfers hold the bus for 2 cycles and bare requests for 1.
+type Timing struct {
+	Request  uint64 // address/request phase: read, RFO, invalidate
+	LineData uint64 // moving one cache line across the bus
+}
+
+// DefaultTiming returns the paper's bus timing (§2.2).
+func DefaultTiming() Timing { return Timing{Request: 1, LineData: 2} }
+
+// Duration returns the bus occupancy of op under this timing.
+func (t Timing) Duration(op Op) uint64 {
+	switch op {
+	case OpRead, OpReadOwn, OpInvalidate:
+		return t.Request
+	case OpWriteBack:
+		// Request phase plus the dirty line's data.
+		return t.Request + t.LineData
+	case OpResponse:
+		return t.LineData
+	case OpCacheToCache:
+		// The supplying cache streams the line after the request phase.
+		return t.Request + t.LineData
+	default:
+		return t.Request
+	}
+}
+
+// Stats accumulates bus-occupancy statistics.
+type Stats struct {
+	BusyCycles uint64
+	Grants     [numOps]uint64
+}
+
+// Count returns the number of transactions of the given op.
+func (s *Stats) Count(op Op) uint64 {
+	if int(op) < len(s.Grants) {
+		return s.Grants[op]
+	}
+	return 0
+}
+
+// Total returns the total number of transactions granted.
+func (s *Stats) Total() uint64 {
+	var n uint64
+	for _, g := range s.Grants {
+		n += g
+	}
+	return n
+}
+
+// Utilization returns busy cycles over elapsed cycles.
+func (s *Stats) Utilization(elapsed uint64) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(elapsed)
+}
+
+// Bus is the shared bus with round-robin arbitration. Requester indices are
+// assigned by the machine: 0..ncpu-1 for the processors' cache-bus
+// interfaces and ncpu for the memory controller's output stage.
+type Bus struct {
+	timing    Timing
+	nreq      int
+	busyUntil uint64
+	holder    int
+	rrNext    int // round-robin scan start
+	stats     Stats
+}
+
+// New creates a bus arbitrating among nreq requesters.
+func New(nreq int, timing Timing) *Bus {
+	if nreq <= 0 {
+		panic(fmt.Sprintf("bus: need at least one requester, got %d", nreq))
+	}
+	return &Bus{timing: timing, nreq: nreq, holder: -1}
+}
+
+// Timing returns the bus timing parameters.
+func (b *Bus) Timing() Timing { return b.timing }
+
+// Stats returns the running statistics.
+func (b *Bus) Stats() *Stats { return &b.stats }
+
+// Free reports whether the bus can be granted at time now.
+func (b *Bus) Free(now uint64) bool { return now >= b.busyUntil }
+
+// Holder returns the requester currently occupying the bus, or -1.
+func (b *Bus) Holder(now uint64) int {
+	if b.Free(now) {
+		return -1
+	}
+	return b.holder
+}
+
+// BusyUntil returns the cycle at which the current transaction completes.
+func (b *Bus) BusyUntil() uint64 { return b.busyUntil }
+
+// Arbitrate grants the bus to the next ready requester in round-robin
+// order. ready(i) must report whether requester i has a grantable
+// transaction at time now. It returns the granted requester, or ok == false
+// if the bus is busy or nobody is ready. The caller must follow up with
+// Occupy to start the granted transaction.
+func (b *Bus) Arbitrate(now uint64, ready func(i int) bool) (int, bool) {
+	if !b.Free(now) {
+		return -1, false
+	}
+	for k := 0; k < b.nreq; k++ {
+		i := (b.rrNext + k) % b.nreq
+		if ready(i) {
+			b.rrNext = (i + 1) % b.nreq
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Occupy starts a transaction of type op by requester at time now and
+// returns the cycle at which the bus becomes free again. Extra cycles (for
+// example a piggybacked lock hand-off transfer) can be added to the base
+// duration.
+func (b *Bus) Occupy(requester int, op Op, now, extra uint64) uint64 {
+	if !b.Free(now) {
+		panic(fmt.Sprintf("bus: Occupy at %d while busy until %d", now, b.busyUntil))
+	}
+	dur := b.timing.Duration(op) + extra
+	b.busyUntil = now + dur
+	b.holder = requester
+	b.stats.BusyCycles += dur
+	b.stats.Grants[op]++
+	return b.busyUntil
+}

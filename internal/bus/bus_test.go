@@ -1,0 +1,196 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTimingDurations(t *testing.T) {
+	tm := DefaultTiming()
+	cases := []struct {
+		op   Op
+		want uint64
+	}{
+		{OpRead, 1},
+		{OpReadOwn, 1},
+		{OpInvalidate, 1},
+		{OpWriteBack, 3},
+		{OpResponse, 2},
+		{OpCacheToCache, 3},
+	}
+	for _, c := range cases {
+		if got := tm.Duration(c.op); got != c.want {
+			t.Errorf("Duration(%v) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOccupyAndFree(t *testing.T) {
+	b := New(3, DefaultTiming())
+	if !b.Free(0) {
+		t.Fatal("new bus not free")
+	}
+	end := b.Occupy(1, OpResponse, 10, 0)
+	if end != 12 {
+		t.Fatalf("Occupy returned %d, want 12", end)
+	}
+	if b.Free(11) {
+		t.Error("bus free mid-transaction")
+	}
+	if got := b.Holder(11); got != 1 {
+		t.Errorf("Holder = %d, want 1", got)
+	}
+	if !b.Free(12) {
+		t.Error("bus not free at completion cycle")
+	}
+	if got := b.Holder(12); got != -1 {
+		t.Errorf("Holder after completion = %d, want -1", got)
+	}
+}
+
+func TestOccupyExtraCycles(t *testing.T) {
+	b := New(1, DefaultTiming())
+	end := b.Occupy(0, OpRead, 0, 2) // piggybacked transfer
+	if end != 3 {
+		t.Fatalf("end = %d, want 3 (1 request + 2 extra)", end)
+	}
+}
+
+func TestOccupyWhileBusyPanics(t *testing.T) {
+	b := New(1, DefaultTiming())
+	b.Occupy(0, OpRead, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Occupy while busy did not panic")
+		}
+	}()
+	b.Occupy(0, OpRead, 0, 0)
+}
+
+func TestArbitrateBusyBus(t *testing.T) {
+	b := New(2, DefaultTiming())
+	b.Occupy(0, OpWriteBack, 0, 0)
+	if _, ok := b.Arbitrate(1, func(int) bool { return true }); ok {
+		t.Fatal("arbitration granted while bus busy")
+	}
+	if _, ok := b.Arbitrate(3, func(int) bool { return true }); !ok {
+		t.Fatal("arbitration refused on free bus")
+	}
+}
+
+func TestArbitrateNobodyReady(t *testing.T) {
+	b := New(4, DefaultTiming())
+	if _, ok := b.Arbitrate(0, func(int) bool { return false }); ok {
+		t.Fatal("granted with no ready requester")
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// All requesters always ready: grants must cycle 0,1,2,0,1,2,...
+	b := New(3, DefaultTiming())
+	now := uint64(0)
+	var order []int
+	for i := 0; i < 9; i++ {
+		got, ok := b.Arbitrate(now, func(int) bool { return true })
+		if !ok {
+			t.Fatal("arbitration failed")
+		}
+		order = append(order, got)
+		now = b.Occupy(got, OpRead, now, 0)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsNotReady(t *testing.T) {
+	b := New(4, DefaultTiming())
+	ready := map[int]bool{1: true, 3: true}
+	got, ok := b.Arbitrate(0, func(i int) bool { return ready[i] })
+	if !ok || got != 1 {
+		t.Fatalf("grant = %d ok=%v, want 1", got, ok)
+	}
+	b.Occupy(got, OpRead, 0, 0)
+	got, ok = b.Arbitrate(1, func(i int) bool { return ready[i] })
+	if !ok || got != 3 {
+		t.Fatalf("grant = %d ok=%v, want 3", got, ok)
+	}
+}
+
+// Property: under persistent demand from all requesters, round-robin never
+// lets any requester starve — the gap between consecutive grants to the
+// same requester is at most nreq transactions.
+func TestNoStarvationProperty(t *testing.T) {
+	check := func(n uint8, rounds uint8) bool {
+		nreq := int(n%6) + 2
+		b := New(nreq, DefaultTiming())
+		last := make([]int, nreq)
+		for i := range last {
+			last[i] = -1
+		}
+		now := uint64(0)
+		total := (int(rounds%16) + 2) * nreq
+		for tx := 0; tx < total; tx++ {
+			got, ok := b.Arbitrate(now, func(int) bool { return true })
+			if !ok {
+				return false
+			}
+			if last[got] >= 0 && tx-last[got] > nreq {
+				return false
+			}
+			last[got] = tx
+			now = b.Occupy(got, OpRead, now, 0)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New(2, DefaultTiming())
+	now := b.Occupy(0, OpRead, 0, 0)
+	now = b.Occupy(1, OpResponse, now, 0)
+	b.Occupy(0, OpWriteBack, now, 0)
+	st := b.Stats()
+	if st.Count(OpRead) != 1 || st.Count(OpResponse) != 1 || st.Count(OpWriteBack) != 1 {
+		t.Errorf("counts wrong: %+v", st.Grants)
+	}
+	if st.Total() != 3 {
+		t.Errorf("Total = %d, want 3", st.Total())
+	}
+	if st.BusyCycles != 1+2+3 {
+		t.Errorf("BusyCycles = %d, want 6", st.BusyCycles)
+	}
+	if got := st.Utilization(12); got != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	if got := st.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", got)
+	}
+	if st.Count(Op(99)) != 0 {
+		t.Error("Count of invalid op should be 0")
+	}
+}
+
+func TestNewPanicsOnZeroRequesters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0, DefaultTiming())
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpCacheToCache.String() != "c2c" {
+		t.Error("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Error("invalid op prints empty")
+	}
+}

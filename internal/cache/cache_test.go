@@ -1,0 +1,393 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyConfig() Config {
+	// 4 sets × 2 ways × 16-byte lines = 128 bytes; small enough to force
+	// evictions quickly in tests.
+	return Config{Size: 128, LineSize: 16, Assoc: 2}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Size: 0, LineSize: 16, Assoc: 2},
+		{Size: 64, LineSize: 0, Assoc: 2},
+		{Size: 64, LineSize: 16, Assoc: 0},
+		{Size: 64, LineSize: 12, Assoc: 2},  // line size not a power of two
+		{Size: 100, LineSize: 16, Assoc: 2}, // size not multiple of line
+		{Size: 96, LineSize: 16, Assoc: 4},  // sets not power of two (6/4)
+		{Size: 96, LineSize: 16, Assoc: 2},  // 3 sets
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted bad config %+v", cfg)
+		}
+	}
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.Sets(); got != 2048 {
+		t.Errorf("Sets = %d, want 2048 (64KB / 16B / 2-way)", got)
+	}
+	if got := cfg.LineAddr(0x12345); got != 0x12340 {
+		t.Errorf("LineAddr(0x12345) = %#x, want 0x12340", got)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on invalid config")
+		}
+	}()
+	New(Config{Size: 3, LineSize: 2, Assoc: 1})
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	c := New(tinyConfig())
+	r := c.Probe(0x100, false)
+	if r.Hit || r.Need != NeedRead {
+		t.Fatalf("cold probe = %+v, want miss needing read", r)
+	}
+	c.Fill(0x100, Exclusive)
+	r = c.Probe(0x104, false) // same line, different word
+	if !r.Hit || r.Need != NeedNone {
+		t.Fatalf("probe after fill = %+v, want hit", r)
+	}
+	st := c.Stats()
+	if st.ReadMisses != 1 || st.ReadHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteMissNeedsReadOwn(t *testing.T) {
+	c := New(tinyConfig())
+	r := c.Probe(0x200, true)
+	if r.Need != NeedReadOwn {
+		t.Fatalf("write miss = %+v, want NeedReadOwn", r)
+	}
+	c.Fill(0x200, Modified)
+	if got := c.Peek(0x200); got != Modified {
+		t.Fatalf("state after RFO fill = %v, want M", got)
+	}
+	if c.Stats().WriteMisses != 1 {
+		t.Errorf("WriteMisses = %d", c.Stats().WriteMisses)
+	}
+}
+
+func TestSilentExclusiveToModified(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0x300, Exclusive)
+	r := c.Probe(0x300, true)
+	if !r.Hit || r.Need != NeedNone {
+		t.Fatalf("write on E = %+v, want silent hit", r)
+	}
+	if got := c.Peek(0x300); got != Modified {
+		t.Fatalf("state = %v, want M (silent upgrade)", got)
+	}
+	if c.Stats().Upgrades != 0 {
+		t.Errorf("silent E→M must not count as upgrade")
+	}
+}
+
+func TestSharedWriteNeedsUpgrade(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0x400, Shared)
+	r := c.Probe(0x400, true)
+	if !r.Hit || r.Need != NeedUpgrade {
+		t.Fatalf("write on S = %+v, want hit needing upgrade", r)
+	}
+	if got := c.Peek(0x400); got != Shared {
+		t.Fatalf("state changed before Upgrade: %v", got)
+	}
+	if !c.Upgrade(0x400) {
+		t.Fatal("Upgrade reported line missing")
+	}
+	if got := c.Peek(0x400); got != Modified {
+		t.Fatalf("state after Upgrade = %v, want M", got)
+	}
+	if c.Stats().Upgrades != 1 {
+		t.Errorf("Upgrades = %d, want 1", c.Stats().Upgrades)
+	}
+}
+
+func TestUpgradeLostRace(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0x400, Shared)
+	c.Snoop(0x400, SnoopInvalidate) // remote write invalidates first
+	if c.Upgrade(0x400) {
+		t.Fatal("Upgrade succeeded on invalidated line")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(tinyConfig())                              // 4 sets, 2 ways; lines mapping to set 0: 0x000, 0x040, 0x080...
+	set0 := func(i uint32) uint32 { return i * 16 * 4 } // stride of nsets×linesize
+	c.Fill(set0(0), Exclusive)
+	c.Fill(set0(1), Exclusive)
+	// Touch line 0 so line 1 is LRU.
+	c.Probe(set0(0), false)
+	v, evicted := c.Fill(set0(2), Exclusive)
+	if !evicted {
+		t.Fatal("third fill in 2-way set did not evict")
+	}
+	if v.Addr != set0(1) {
+		t.Fatalf("evicted %#x, want %#x (LRU)", v.Addr, set0(1))
+	}
+	if v.Dirty {
+		t.Error("clean line reported dirty")
+	}
+	if c.Peek(set0(0)) == Invalid || c.Peek(set0(2)) == Invalid {
+		t.Error("resident lines lost")
+	}
+	if c.Peek(set0(1)) != Invalid {
+		t.Error("evicted line still present")
+	}
+}
+
+func TestDirtyEvictionReportsWriteBack(t *testing.T) {
+	c := New(tinyConfig())
+	set0 := func(i uint32) uint32 { return i * 16 * 4 }
+	c.Fill(set0(0), Modified)
+	c.Fill(set0(1), Exclusive)
+	c.Probe(set0(1), false) // make line 0 the LRU victim
+	v, evicted := c.Fill(set0(2), Exclusive)
+	if !evicted || !v.Dirty || v.Addr != set0(0) {
+		t.Fatalf("victim = %+v evicted=%v, want dirty %#x", v, evicted, set0(0))
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("WriteBacks = %d, want 1", c.Stats().WriteBacks)
+	}
+}
+
+func TestFillPrefersInvalidWay(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0x000, Exclusive)
+	if _, evicted := c.Fill(0x040, Exclusive); evicted {
+		t.Fatal("fill evicted despite free way")
+	}
+}
+
+func TestSnoopTransitions(t *testing.T) {
+	cases := []struct {
+		name      string
+		initial   State
+		op        SnoopOp
+		wantState State
+		want      SnoopResult
+	}{
+		{"read on M", Modified, SnoopRead, Shared, SnoopResult{HadCopy: true, Supplied: true, WasDirty: true}},
+		{"read on E", Exclusive, SnoopRead, Shared, SnoopResult{HadCopy: true, Supplied: true}},
+		{"read on S", Shared, SnoopRead, Shared, SnoopResult{HadCopy: true, Supplied: true}},
+		{"rfo on M", Modified, SnoopReadOwn, Invalid, SnoopResult{HadCopy: true, Supplied: true, WasDirty: true}},
+		{"rfo on E", Exclusive, SnoopReadOwn, Invalid, SnoopResult{HadCopy: true, Supplied: true}},
+		{"rfo on S", Shared, SnoopReadOwn, Invalid, SnoopResult{HadCopy: true, Supplied: true}},
+		{"inval on S", Shared, SnoopInvalidate, Invalid, SnoopResult{HadCopy: true}},
+		{"inval on M", Modified, SnoopInvalidate, Invalid, SnoopResult{HadCopy: true, WasDirty: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(tinyConfig())
+			c.Fill(0x500, tc.initial)
+			got := c.Snoop(0x500, tc.op)
+			if got != tc.want {
+				t.Errorf("Snoop = %+v, want %+v", got, tc.want)
+			}
+			if st := c.Peek(0x500); st != tc.wantState {
+				t.Errorf("state = %v, want %v", st, tc.wantState)
+			}
+		})
+	}
+}
+
+func TestSnoopMissIsNoop(t *testing.T) {
+	c := New(tinyConfig())
+	res := c.Snoop(0x500, SnoopRead)
+	if res.HadCopy || res.Supplied || res.WasDirty {
+		t.Fatalf("snoop miss = %+v, want zero", res)
+	}
+	if c.Stats().SnoopHits != 0 {
+		t.Error("snoop miss counted as hit")
+	}
+}
+
+func TestHitRatios(t *testing.T) {
+	c := New(tinyConfig())
+	c.Probe(0x000, false) // read miss
+	c.Fill(0x000, Exclusive)
+	c.Probe(0x000, false) // read hit
+	c.Probe(0x000, true)  // write hit (E→M)
+	c.Probe(0x100, true)  // write miss
+	st := c.Stats()
+	if got := st.ReadHitRatio(); got != 0.5 {
+		t.Errorf("ReadHitRatio = %v, want 0.5", got)
+	}
+	if got := st.WriteHitRatio(); got != 0.5 {
+		t.Errorf("WriteHitRatio = %v, want 0.5", got)
+	}
+	empty := &Stats{}
+	if empty.ReadHitRatio() != 1 || empty.WriteHitRatio() != 1 {
+		t.Error("empty ratios should be 1")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0x000, Modified)
+	c.Fill(0x010, Shared)
+	c.Fill(0x020, Exclusive)
+	dirty := c.Flush()
+	if len(dirty) != 1 || dirty[0] != 0x000 {
+		t.Fatalf("Flush dirty = %#x, want [0x000]", dirty)
+	}
+	if c.CountValid() != 0 {
+		t.Fatalf("CountValid after flush = %d", c.CountValid())
+	}
+}
+
+func TestFillExistingLineUpdatesState(t *testing.T) {
+	c := New(tinyConfig())
+	c.Fill(0x600, Shared)
+	if _, evicted := c.Fill(0x600, Modified); evicted {
+		t.Fatal("re-fill evicted")
+	}
+	if got := c.Peek(0x600); got != Modified {
+		t.Fatalf("state = %v, want M", got)
+	}
+	if c.CountValid() != 1 {
+		t.Fatalf("CountValid = %d, want 1 (no duplicate line)", c.CountValid())
+	}
+}
+
+func TestFillInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fill(Invalid) did not panic")
+		}
+	}()
+	New(tinyConfig()).Fill(0x0, Invalid)
+}
+
+// Property: the reconstructed victim address maps to the same set as the
+// address that displaced it, and occupancy never exceeds capacity.
+func TestVictimAddressProperty(t *testing.T) {
+	cfg := tinyConfig()
+	check := func(addrs []uint32) bool {
+		c := New(cfg)
+		for _, a := range addrs {
+			before := c.Peek(a)
+			v, evicted := c.Fill(a, Exclusive)
+			if evicted && before == Invalid {
+				sameSet := (v.Addr>>4)&3 == (a>>4)&3
+				if !sameSet {
+					return false
+				}
+			}
+			if c.CountValid() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Peek never alters state; Probe on a miss never alters state.
+func TestProbePurityProperty(t *testing.T) {
+	check := func(addrs []uint32, fillEvery uint8) bool {
+		c := New(tinyConfig())
+		step := int(fillEvery%4) + 2
+		for i, a := range addrs {
+			if i%step == 0 {
+				c.Fill(a, Exclusive)
+				continue
+			}
+			before := c.Peek(a)
+			r := c.Probe(a, false)
+			if !r.Hit && c.Peek(a) != before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWillEvict(t *testing.T) {
+	c := New(tinyConfig())
+	set0 := func(i uint32) uint32 { return i * 16 * 4 }
+	if _, will := c.WillEvict(set0(0)); will {
+		t.Fatal("empty set predicted eviction")
+	}
+	c.Fill(set0(0), Modified)
+	if _, will := c.WillEvict(set0(1)); will {
+		t.Fatal("half-full set predicted eviction")
+	}
+	c.Fill(set0(1), Exclusive)
+	v, will := c.WillEvict(set0(2))
+	if !will || v.Addr != set0(0) || !v.Dirty {
+		t.Fatalf("WillEvict = %+v,%v; want dirty 0x0", v, will)
+	}
+	// Prediction must not mutate.
+	if c.Peek(set0(0)) != Modified || c.Peek(set0(1)) != Exclusive {
+		t.Fatal("WillEvict mutated the cache")
+	}
+	// Present line never predicts eviction.
+	if _, will := c.WillEvict(set0(0)); will {
+		t.Fatal("resident line predicted eviction")
+	}
+}
+
+func TestEvictFor(t *testing.T) {
+	c := New(tinyConfig())
+	set0 := func(i uint32) uint32 { return i * 16 * 4 }
+	c.Fill(set0(0), Modified)
+	c.Fill(set0(1), Exclusive)
+	v, did := c.EvictFor(set0(2))
+	if !did || v.Addr != set0(0) || !v.Dirty {
+		t.Fatalf("EvictFor = %+v,%v", v, did)
+	}
+	if c.Peek(set0(0)) != Invalid {
+		t.Fatal("victim still resident")
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("WriteBacks = %d, want 1", c.Stats().WriteBacks)
+	}
+	// Subsequent fill must use the freed way without another eviction.
+	if _, evicted := c.Fill(set0(2), Exclusive); evicted {
+		t.Fatal("fill after EvictFor evicted again")
+	}
+	// No-op cases.
+	if _, did := c.EvictFor(set0(2)); did {
+		t.Fatal("EvictFor on resident line evicted")
+	}
+	c2 := New(tinyConfig())
+	if _, did := c2.EvictFor(0); did {
+		t.Fatal("EvictFor on empty set evicted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M"} {
+		if got := st.String(); got != want {
+			t.Errorf("State %d = %q, want %q", st, got, want)
+		}
+	}
+	if State(9).String() == "" {
+		t.Error("out-of-range state printed empty")
+	}
+	if NeedRead.String() != "read" || BusNeed(9).String() == "" {
+		t.Error("BusNeed strings wrong")
+	}
+}

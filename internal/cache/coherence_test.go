@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// system models N caches connected by a serialised bus, applying the
+// Illinois transitions the machine performs, so the protocol's invariants
+// can be property-tested in isolation from the timing machinery.
+type system struct {
+	caches []*Cache
+}
+
+func newSystem(n int) *system {
+	s := &system{}
+	for i := 0; i < n; i++ {
+		s.caches = append(s.caches, New(tinyConfig()))
+	}
+	return s
+}
+
+// read performs processor i's load of addr through the protocol.
+func (s *system) read(i int, addr uint32) {
+	res := s.caches[i].Probe(addr, false)
+	if res.Need == NeedNone {
+		return
+	}
+	supplied := false
+	for j, c := range s.caches {
+		if j == i {
+			continue
+		}
+		if r := c.Snoop(addr&^15, SnoopRead); r.HadCopy {
+			supplied = true
+		}
+	}
+	st := Exclusive
+	if supplied {
+		st = Shared
+	}
+	s.caches[i].Fill(addr, st)
+}
+
+// write performs processor i's store of addr through the protocol.
+func (s *system) write(i int, addr uint32) {
+	res := s.caches[i].Probe(addr, true)
+	switch res.Need {
+	case NeedNone:
+		return
+	case NeedUpgrade:
+		for j, c := range s.caches {
+			if j != i {
+				c.Snoop(addr&^15, SnoopInvalidate)
+			}
+		}
+		if !s.caches[i].Upgrade(addr) {
+			// Lost the line mid-upgrade cannot happen in this
+			// serialised model.
+			panic("upgrade lost without concurrency")
+		}
+	default: // read-for-ownership
+		for j, c := range s.caches {
+			if j != i {
+				c.Snoop(addr&^15, SnoopReadOwn)
+			}
+		}
+		s.caches[i].Fill(addr, Modified)
+	}
+}
+
+// checkInvariants asserts the single-writer/multi-reader property: a line
+// Modified or Exclusive in one cache is Invalid everywhere else.
+func (s *system) checkInvariants() (ok bool, badLine uint32) {
+	lines := map[uint32][]State{}
+	for _, c := range s.caches {
+		c.ForEachLine(func(a uint32, st State) {
+			lines[a] = append(lines[a], st)
+		})
+	}
+	for a, sts := range lines {
+		excl := 0
+		for _, st := range sts {
+			if st == Modified || st == Exclusive {
+				excl++
+			}
+		}
+		if excl > 1 || (excl == 1 && len(sts) > 1) {
+			return false, a
+		}
+	}
+	return true, 0
+}
+
+// TestIllinoisInvariantProperty drives random reads and writes from random
+// processors through the serialised protocol and checks the coherence
+// invariant after every operation.
+func TestIllinoisInvariantProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newSystem(rng.Intn(4) + 2)
+		for op := 0; op < 400; op++ {
+			cpu := rng.Intn(len(s.caches))
+			addr := uint32(rng.Intn(32)) * 16 // 32 lines, heavy sharing
+			if rng.Intn(3) == 0 {
+				s.write(cpu, addr)
+			} else {
+				s.read(cpu, addr)
+			}
+			if ok, bad := s.checkInvariants(); !ok {
+				t.Logf("seed %d op %d: invariant violated on line %#x", seed, op, bad)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadAfterRemoteWriteSeesSharedCopies: after a write by one processor
+// and reads by two others, the line must be Shared in all three caches.
+func TestReadAfterRemoteWriteSeesSharedCopies(t *testing.T) {
+	s := newSystem(3)
+	s.write(0, 0x100)
+	if st := s.caches[0].Peek(0x100); st != Modified {
+		t.Fatalf("writer state = %v, want M", st)
+	}
+	s.read(1, 0x100)
+	if st := s.caches[0].Peek(0x100); st != Shared {
+		t.Fatalf("writer after remote read = %v, want S", st)
+	}
+	s.read(2, 0x100)
+	for i := 0; i < 3; i++ {
+		if st := s.caches[i].Peek(0x100); st != Shared {
+			t.Fatalf("cache %d = %v, want S", i, st)
+		}
+	}
+}
+
+// TestWriteInvalidatesAllReaders: a store must leave exactly one valid copy.
+func TestWriteInvalidatesAllReaders(t *testing.T) {
+	s := newSystem(4)
+	for i := 0; i < 4; i++ {
+		s.read(i, 0x200)
+	}
+	s.write(2, 0x200)
+	for i := 0; i < 4; i++ {
+		want := Invalid
+		if i == 2 {
+			want = Modified
+		}
+		if st := s.caches[i].Peek(0x200); st != want {
+			t.Fatalf("cache %d = %v, want %v", i, st, want)
+		}
+	}
+}
+
+// TestPingPong: alternating writers bounce a line M→I→M between caches.
+func TestPingPong(t *testing.T) {
+	s := newSystem(2)
+	for i := 0; i < 10; i++ {
+		w := i % 2
+		s.write(w, 0x300)
+		if st := s.caches[w].Peek(0x300); st != Modified {
+			t.Fatalf("round %d: writer = %v", i, st)
+		}
+		if st := s.caches[1-w].Peek(0x300); st != Invalid {
+			t.Fatalf("round %d: loser = %v", i, st)
+		}
+	}
+	st := s.caches[0].Stats()
+	if st.Invalidated == 0 || st.SnoopHits == 0 {
+		t.Error("ping-pong produced no snoop activity")
+	}
+}

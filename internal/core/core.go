@@ -1,0 +1,203 @@
+// Package core orchestrates the paper's experiments end to end: generate a
+// benchmark trace, compute its ideal statistics (Tables 1-2), and simulate
+// it under the three machine configurations the paper evaluates —
+// sequential consistency with queuing locks (Tables 3-4), sequential
+// consistency with test&test&set (Tables 5-6), and weak ordering with
+// queuing locks (Tables 7-8).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/machine"
+	"syncsim/internal/stats"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+	"syncsim/internal/workload/suite"
+)
+
+// Model names one of the paper's three evaluated machine configurations.
+type Model int
+
+const (
+	// ModelQueue: sequential consistency + queuing locks (the baseline
+	// of Tables 3-4).
+	ModelQueue Model = iota
+	// ModelTTS: sequential consistency + test&test&set (Tables 5-6).
+	ModelTTS
+	// ModelWO: weak ordering + queuing locks (Tables 7-8).
+	ModelWO
+
+	numModels
+)
+
+var modelNames = [numModels]string{"queue", "tts", "wo"}
+
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// MachineConfig returns the machine configuration of a model, derived from
+// a base configuration (typically machine.DefaultConfig()).
+func (m Model) MachineConfig(base machine.Config) machine.Config {
+	cfg := base
+	switch m {
+	case ModelQueue:
+		cfg.Lock = locks.Queue
+		cfg.Consistency = machine.SeqConsistent
+	case ModelTTS:
+		cfg.Lock = locks.TTS
+		cfg.Consistency = machine.SeqConsistent
+	case ModelWO:
+		cfg.Lock = locks.Queue
+		cfg.Consistency = machine.WeakOrdering
+	}
+	return cfg
+}
+
+// Outcome holds everything measured for one benchmark: its ideal trace
+// statistics and one simulation result per requested model.
+type Outcome struct {
+	Name    string
+	Paper   suite.Ideal
+	Params  workload.Params
+	Ideal   trace.Summary
+	Results map[Model]*machine.Result
+}
+
+// Decomposition returns the §3.2 T&T&S slowdown decomposition, if both
+// models were run.
+func (o *Outcome) Decomposition() (stats.Decomposition, bool) {
+	q, okQ := o.Results[ModelQueue]
+	t, okT := o.Results[ModelTTS]
+	if !okQ || !okT {
+		return stats.Decomposition{}, false
+	}
+	return stats.Decompose(q, t), true
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Scale is the workload scale (1.0 = paper magnitudes). Zero means 1.
+	Scale float64
+	// Seed drives all generation randomness.
+	Seed int64
+	// Models selects which machine models to simulate; nil means all.
+	Models []Model
+	// Machine is the base machine configuration; zero value means
+	// machine.DefaultConfig().
+	Machine *machine.Config
+	// Only restricts the run to the named benchmarks; nil means all six.
+	Only []string
+	// Progress, when non-nil, receives one line per step for long runs.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// RunBenchmark generates one benchmark and simulates it under the given
+// models. The same generated trace is replayed for every model, exactly as
+// the paper drives one trace through several simulated machines.
+func RunBenchmark(b suite.Benchmark, opts Options) (*Outcome, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 1
+	}
+	models := opts.Models
+	if models == nil {
+		models = []Model{ModelQueue, ModelTTS, ModelWO}
+	}
+	base := machine.DefaultConfig()
+	if opts.Machine != nil {
+		base = *opts.Machine
+	}
+
+	params := workload.Params{Scale: opts.Scale, Seed: opts.Seed}
+	opts.progress("%s: generating (scale %g)", b.Program.Name(), opts.Scale)
+	set, err := b.Program.Generate(params)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate %s: %w", b.Program.Name(), err)
+	}
+
+	out := &Outcome{
+		Name:    b.Program.Name(),
+		Paper:   b.Paper,
+		Params:  params,
+		Results: make(map[Model]*machine.Result, len(models)),
+	}
+	out.Ideal = trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+
+	// The models replay the same generated trace on independent machines;
+	// run them concurrently over cloned cursors (the underlying compact
+	// trace is shared read-only).
+	type modelResult struct {
+		model Model
+		res   *machine.Result
+		err   error
+	}
+	results := make(chan modelResult, len(models))
+	var wg sync.WaitGroup
+	for _, model := range models {
+		clone, err := trace.Clone(set)
+		if err != nil {
+			return nil, err
+		}
+		opts.progress("%s: simulating %v", b.Program.Name(), model)
+		wg.Add(1)
+		go func(model Model, clone *trace.Set) {
+			defer wg.Done()
+			res, err := machine.Run(clone, model.MachineConfig(base))
+			if err != nil {
+				err = fmt.Errorf("core: simulate %s under %v: %w", b.Program.Name(), model, err)
+			}
+			results <- modelResult{model, res, err}
+		}(model, clone)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out.Results[r.model] = r.res
+	}
+	return out, nil
+}
+
+// RunSuite runs the selected benchmarks under the selected models and
+// returns the outcomes in the paper's table order.
+func RunSuite(opts Options) ([]*Outcome, error) {
+	var outcomes []*Outcome
+	for _, b := range suite.All() {
+		if len(opts.Only) > 0 && !contains(opts.Only, b.Program.Name()) {
+			continue
+		}
+		o, err := RunBenchmark(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	if len(outcomes) == 0 {
+		return nil, fmt.Errorf("core: no benchmarks selected (have %v)", suite.Names())
+	}
+	return outcomes, nil
+}
+
+func contains(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

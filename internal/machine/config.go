@@ -1,0 +1,109 @@
+// Package machine is the cycle-level simulator of the paper's shared-bus
+// multiprocessor (§2.2): trace-driven processors, private Illinois-protocol
+// caches, four-entry cache-bus interface buffers, a split-transaction bus
+// with round-robin arbitration, and a buffered memory module.
+//
+// The machine executes a trace.Set under a chosen lock algorithm (queuing
+// locks or test&test&set) and memory consistency model (sequential
+// consistency or weak ordering) and produces the runtime and contention
+// statistics of the paper's Tables 3-8.
+package machine
+
+import (
+	"fmt"
+
+	"syncsim/internal/bus"
+	"syncsim/internal/cache"
+	"syncsim/internal/locks"
+	"syncsim/internal/memory"
+)
+
+// Consistency selects the memory access model implemented by the hardware.
+type Consistency uint8
+
+const (
+	// SeqConsistent: every miss stalls the processor until the access is
+	// performed, preserving a per-processor total order of accesses.
+	SeqConsistent Consistency = iota
+	// WeakOrdering: write misses and upgrades are buffered without
+	// stalling; loads and instruction fetches bypass buffered writes
+	// (they are placed at the front of the cache-bus buffer); at every
+	// synchronisation operation the processor drains all outstanding
+	// accesses before touching the synchronisation variable.
+	WeakOrdering
+)
+
+func (c Consistency) String() string {
+	switch c {
+	case SeqConsistent:
+		return "sc"
+	case WeakOrdering:
+		return "wo"
+	default:
+		return fmt.Sprintf("Consistency(%d)", uint8(c))
+	}
+}
+
+// Config assembles the architectural parameters of a simulated machine.
+type Config struct {
+	Cache       cache.Config
+	BusTiming   bus.Timing
+	Memory      memory.Config
+	BufDepth    int // cache-bus interface buffer entries (paper: 4)
+	Lock        locks.Algorithm
+	Consistency Consistency
+
+	// BackoffBase and BackoffMax bound the exponential backoff of the
+	// TTSBackoff lock algorithm, in cycles. Zero values select defaults
+	// (4 and 256).
+	BackoffBase uint64
+	BackoffMax  uint64
+
+	// MaxCycles aborts the run if the simulated clock exceeds it
+	// (deadlock guard). Zero means no limit.
+	MaxCycles uint64
+	// ProgressWindow aborts the run if no component makes progress for
+	// this many consecutive cycles. Zero selects a generous default.
+	ProgressWindow uint64
+}
+
+// DefaultConfig returns the paper's machine: 64 KB 2-way caches with
+// 16-byte lines, 4-entry cache-bus buffers, split-transaction bus, 3-cycle
+// memory with 2-entry buffers, queuing locks, sequential consistency.
+func DefaultConfig() Config {
+	return Config{
+		Cache:       cache.DefaultConfig(),
+		BusTiming:   bus.DefaultTiming(),
+		Memory:      memory.DefaultConfig(),
+		BufDepth:    4,
+		Lock:        locks.Queue,
+		Consistency: SeqConsistent,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memory.Validate(); err != nil {
+		return err
+	}
+	if c.BufDepth <= 0 {
+		return fmt.Errorf("machine: buffer depth must be positive, got %d", c.BufDepth)
+	}
+	if c.BusTiming.Request == 0 || c.BusTiming.LineData == 0 {
+		return fmt.Errorf("machine: bus timing cycles must be positive, got %+v", c.BusTiming)
+	}
+	switch c.Lock {
+	case locks.Queue, locks.TTS, locks.QueueExact, locks.TTSBackoff:
+	default:
+		return fmt.Errorf("machine: unknown lock algorithm %v", c.Lock)
+	}
+	switch c.Consistency {
+	case SeqConsistent, WeakOrdering:
+	default:
+		return fmt.Errorf("machine: unknown consistency model %v", c.Consistency)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package machine
+
+import (
+	"testing"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/trace"
+)
+
+func TestFusedReferenceEvents(t *testing.T) {
+	// A reference with pre-execution cycles must execute first, then
+	// reference: total work = Σ pre-cycles, and the run-time includes
+	// the miss after the exec burst.
+	res := run(t, defCfg(), "fused", []trace.Event{
+		trace.ReadAfter(10, 0x1000), // 10 cycles exec, then a 6-cycle miss
+		trace.WriteAfter(5, 0x1004), // 5 cycles exec, then a hit
+	})
+	if res.CPUs[0].WorkCycles != 15 {
+		t.Errorf("WorkCycles = %d, want 15", res.CPUs[0].WorkCycles)
+	}
+	if res.RunTime != 21 {
+		t.Errorf("RunTime = %d, want 21 (10 + 6 miss + 5)", res.RunTime)
+	}
+	if res.CPUs[0].Refs != 2 {
+		t.Errorf("Refs = %d, want 2", res.CPUs[0].Refs)
+	}
+}
+
+func TestFusedEventDoesNotDoubleCountOnMerge(t *testing.T) {
+	// Under WO, a fused read that merges with an outstanding write fill
+	// must not re-execute its pre-cycles when replayed.
+	cfg := woCfg()
+	res := run(t, cfg, "fusedmerge", []trace.Event{
+		trace.Write(0x1000),        // buffered write miss
+		trace.ReadAfter(7, 0x1008), // same line: exec 7, then merge-wait
+		trace.Exec(3),
+	})
+	if res.CPUs[0].WorkCycles != 10 {
+		t.Errorf("WorkCycles = %d, want 10 (7 + 3, no double count)", res.CPUs[0].WorkCycles)
+	}
+}
+
+func TestTTSWithSingleEntryBuffer(t *testing.T) {
+	// Depth-1 buffers force the TTS continuation through the
+	// buffer-full retry path; the run must still complete correctly.
+	cfg := defCfg()
+	cfg.Lock = locks.TTS
+	cfg.BufDepth = 1
+	cs := []trace.Event{
+		trace.Read(0x100000), // occupy the buffer with a miss first
+		trace.Lock(0, 0x9000), trace.Exec(40), trace.Unlock(0, 0x9000),
+		trace.Exec(1),
+	}
+	res := run(t, cfg, "ttstiny", cs, cs, cs)
+	if res.Locks.Acquisitions != 3 {
+		t.Fatalf("Acquisitions = %d, want 3", res.Locks.Acquisitions)
+	}
+}
+
+func TestQueueLockWithSingleEntryBuffer(t *testing.T) {
+	cfg := defCfg()
+	cfg.BufDepth = 1
+	cs := []trace.Event{
+		trace.Lock(0, 0x9000), trace.Write(0x80000), trace.Exec(40),
+		trace.Unlock(0, 0x9000), trace.Exec(1),
+	}
+	res := run(t, cfg, "qtiny", cs, cs)
+	if res.Locks.Acquisitions != 2 || res.Locks.Transfers != 1 {
+		t.Fatalf("lock stats = %+v", res.Locks)
+	}
+}
+
+func TestWriteBackSupersededByRemoteWrite(t *testing.T) {
+	// cpu0 dirties line A, then evicts it by filling two more lines in
+	// A's set — the write-back sits in its buffer. cpu1 then WRITES line
+	// A: the buffered dirty copy must supply and the write-back be
+	// cancelled (ownership moved), not committed later over cpu1's data.
+	cfg := defCfg()
+	// Set-aliasing addresses for the default geometry: 2048 sets × 16B
+	// lines → same set every 32 KB.
+	const (
+		lineA = 0x100000
+		lineB = lineA + 2048*16
+		lineC = lineA + 2*2048*16
+	)
+	res := run(t, cfg, "wbsupersede",
+		[]trace.Event{
+			trace.Write(lineA), // M
+			trace.Read(lineB),  // fill same set
+			trace.Read(lineC),  // evict A (dirty) into the buffer
+			trace.Exec(200),    // plenty of time for cpu1's write to race the write-back
+		},
+		[]trace.Event{
+			trace.Exec(20),
+			trace.Write(lineA), // RFO while A's write-back may be buffered
+			trace.Exec(200),
+		},
+	)
+	// The essential check is machine consistency (run() verifies
+	// coherence); also confirm cpu1 got ownership.
+	if res.CPUs[1].Cache.WriteMisses != 1 {
+		t.Errorf("cpu1 WriteMisses = %d, want 1", res.CPUs[1].Cache.WriteMisses)
+	}
+}
+
+func TestBufferedDirtyLineSuppliesRead(t *testing.T) {
+	// Same eviction dance, but cpu1 READS line A: the buffered dirty
+	// line must supply the data (paper §2.2: a dirty line in the buffer
+	// is visible to the coherence mechanism).
+	cfg := defCfg()
+	cfg.Memory.AccessTime = 50 // slow memory keeps the write-back queued
+	const (
+		lineA = 0x100000
+		lineB = lineA + 2048*16
+		lineC = lineA + 2*2048*16
+	)
+	res := run(t, cfg, "wbsupply",
+		[]trace.Event{
+			trace.Write(lineA),
+			trace.Read(lineB),
+			trace.Read(lineC),
+			trace.Exec(400),
+		},
+		[]trace.Event{
+			trace.Exec(30),
+			trace.Read(lineA),
+			trace.Exec(400),
+		},
+	)
+	_ = res // coherence checked by run(); liveness is the property here
+}
+
+func TestNestedLocksSimulate(t *testing.T) {
+	// The Presto pattern: sched lock with queue lock nested inside.
+	cs := func() []trace.Event {
+		var evs []trace.Event
+		for i := 0; i < 5; i++ {
+			evs = append(evs,
+				trace.Lock(0, 0x9000), trace.Exec(10),
+				trace.Lock(1, 0x9040), trace.Exec(20), trace.Unlock(1, 0x9040),
+				trace.Exec(10), trace.Unlock(0, 0x9000),
+				trace.Exec(30),
+			)
+		}
+		return evs
+	}
+	for _, alg := range []locks.Algorithm{locks.Queue, locks.TTS} {
+		cfg := defCfg()
+		cfg.Lock = alg
+		res := run(t, cfg, "nested", cs(), cs(), cs())
+		if res.Locks.Acquisitions != 30 {
+			t.Errorf("%v: acquisitions = %d, want 30", alg, res.Locks.Acquisitions)
+		}
+	}
+}
+
+func TestLockHandoffChainUnderLoad(t *testing.T) {
+	// Eight CPUs, one lock, many rounds: FIFO queue locks must hand off
+	// cleanly every time, and the waiter histogram should be populated.
+	cs := func() []trace.Event {
+		var evs []trace.Event
+		for i := 0; i < 20; i++ {
+			evs = append(evs, trace.Lock(0, 0x9000), trace.Exec(25),
+				trace.Unlock(0, 0x9000), trace.Exec(5))
+		}
+		return evs
+	}
+	traces := make([][]trace.Event, 8)
+	for i := range traces {
+		traces[i] = cs()
+	}
+	res := run(t, defCfg(), "chain", traces...)
+	if res.Locks.Acquisitions != 160 {
+		t.Fatalf("acquisitions = %d", res.Locks.Acquisitions)
+	}
+	var histTotal uint64
+	for _, n := range res.Locks.WaiterHistogram {
+		histTotal += n
+	}
+	if histTotal != res.Locks.Transfers {
+		t.Errorf("histogram total %d != transfers %d", histTotal, res.Locks.Transfers)
+	}
+	if res.Locks.MaxWaiters < 5 {
+		t.Errorf("MaxWaiters = %d; saturation expected", res.Locks.MaxWaiters)
+	}
+}
+
+func TestWOBarrierDrains(t *testing.T) {
+	res := run(t, woCfg(), "wobarrier",
+		[]trace.Event{trace.Write(0x1000), trace.Barrier(0), trace.Exec(5)},
+		[]trace.Event{trace.Exec(50), trace.Barrier(0), trace.Exec(5)},
+	)
+	if res.BarrierEpisodes != 1 {
+		t.Fatalf("episodes = %d", res.BarrierEpisodes)
+	}
+	if res.CPUs[0].StallDrain == 0 {
+		t.Error("no drain stall before barrier despite buffered write")
+	}
+}
+
+func TestRunTimeMonotoneInMemoryLatency(t *testing.T) {
+	mk := func() [][]trace.Event {
+		var evs []trace.Event
+		for i := 0; i < 50; i++ {
+			evs = append(evs, trace.Read(uint32(0x100000+i*4096)), trace.Exec(5))
+		}
+		return [][]trace.Event{evs}
+	}
+	var last uint64
+	for _, lat := range []uint64{3, 6, 12} {
+		cfg := defCfg()
+		cfg.Memory.AccessTime = lat
+		res := run(t, cfg, "lat", mk()...)
+		if res.RunTime <= last {
+			t.Fatalf("run-time %d not monotone at latency %d", res.RunTime, lat)
+		}
+		last = res.RunTime
+	}
+}
+
+func TestBusTimingScales(t *testing.T) {
+	evs := []trace.Event{trace.Read(0x100000), trace.Exec(1)}
+	slow := defCfg()
+	slow.BusTiming.Request = 4
+	slow.BusTiming.LineData = 8
+	fast := run(t, defCfg(), "fastbus", append([]trace.Event(nil), evs...))
+	slowRes := run(t, slow, "slowbus", append([]trace.Event(nil), evs...))
+	if slowRes.RunTime <= fast.RunTime {
+		t.Errorf("slow bus %d not slower than fast %d", slowRes.RunTime, fast.RunTime)
+	}
+}
+
+func TestDepthOneBufferDirtyVictimMiss(t *testing.T) {
+	// Regression: with a single-entry buffer, a miss whose fill evicts a
+	// dirty victim needs two slots and used to wait forever. The machine
+	// must spill the write-back first and then issue the fill.
+	cfg := defCfg()
+	cfg.BufDepth = 1
+	const (
+		lineA = 0x100000
+		lineB = lineA + 2048*16
+		lineC = lineA + 2*2048*16
+	)
+	res := run(t, cfg, "depth1",
+		[]trace.Event{
+			trace.Write(lineA), // dirty
+			trace.Write(lineB), // dirty, same set
+			trace.Read(lineC),  // miss: must evict a dirty victim
+			trace.Exec(5),
+		},
+	)
+	if res.Memory.Writes == 0 {
+		t.Error("no write-back reached memory")
+	}
+}
+
+func TestDepthOneBufferFullWorkload(t *testing.T) {
+	// The whole lock/miss machinery must survive a depth-1 buffer.
+	cfg := defCfg()
+	cfg.BufDepth = 1
+	cfg.Consistency = WeakOrdering
+	cs := []trace.Event{
+		trace.Write(0x100000), trace.Write(0x100000 + 2048*16),
+		trace.Lock(0, 0x9000), trace.Exec(30), trace.Write(0x80000),
+		trace.Unlock(0, 0x9000),
+		trace.Read(0x100000 + 2*2048*16),
+		trace.Exec(5),
+	}
+	res := run(t, cfg, "depth1full", cs, cs, cs)
+	if res.Locks.Acquisitions != 3 {
+		t.Fatalf("acquisitions = %d", res.Locks.Acquisitions)
+	}
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"testing"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/trace"
+)
+
+// contendedWorkload builds n identical traces hammering one lock.
+func contendedWorkload(n, iters int, cs, outside uint32) [][]trace.Event {
+	cpus := make([][]trace.Event, n)
+	for i := range cpus {
+		var evs []trace.Event
+		for k := 0; k < iters; k++ {
+			evs = append(evs,
+				trace.Lock(0, 0x9000), trace.Exec(cs),
+				trace.Unlock(0, 0x9000), trace.Exec(outside))
+		}
+		cpus[i] = evs
+	}
+	return cpus
+}
+
+func runAlg(t *testing.T, alg locks.Algorithm, cpus [][]trace.Event) *Result {
+	t.Helper()
+	cfg := defCfg()
+	cfg.Lock = alg
+	copied := make([][]trace.Event, len(cpus))
+	for i := range cpus {
+		copied[i] = append([]trace.Event(nil), cpus[i]...)
+	}
+	return run(t, cfg, alg.String(), copied...)
+}
+
+func TestQueueExactUncontended(t *testing.T) {
+	res := runAlg(t, locks.QueueExact, contendedWorkload(1, 1, 10, 5))
+	if res.Locks.Acquisitions != 1 {
+		t.Fatalf("acquisitions = %d", res.Locks.Acquisitions)
+	}
+	// Exact acquire = two memory round trips ≈ 12+ cycles of lock stall
+	// versus the approximation's ~6.
+	if res.CPUs[0].StallLock < 12 {
+		t.Errorf("StallLock = %d, want ≥12 (two enqueue accesses)", res.CPUs[0].StallLock)
+	}
+	approx := runAlg(t, locks.Queue, contendedWorkload(1, 1, 10, 5))
+	if res.CPUs[0].StallLock <= approx.CPUs[0].StallLock {
+		t.Errorf("exact acquire (%d) not costlier than approximation (%d)",
+			res.CPUs[0].StallLock, approx.CPUs[0].StallLock)
+	}
+}
+
+func TestQueueExactHandoffCostsMore(t *testing.T) {
+	// The paper's open question (§2.4): the exact protocol replaces the
+	// piggybacked hand-off with a notify write plus a re-read miss, so
+	// its transfer latency must be several cycles higher.
+	w := contendedWorkload(4, 20, 40, 10)
+	exact := runAlg(t, locks.QueueExact, w)
+	approx := runAlg(t, locks.Queue, w)
+	if exact.Locks.Transfers == 0 {
+		t.Fatal("no transfers under contention")
+	}
+	et := exact.Locks.AvgTransferTime()
+	at := approx.Locks.AvgTransferTime()
+	if et <= at+2 {
+		t.Errorf("exact transfer %.1f not clearly above approximate %.1f", et, at)
+	}
+	if et > 25 {
+		t.Errorf("exact transfer %.1f implausibly high (should be ~6-15)", et)
+	}
+	if exact.RunTime <= approx.RunTime {
+		t.Errorf("exact run-time %d not above approximate %d", exact.RunTime, approx.RunTime)
+	}
+}
+
+func TestQueueExactStillFIFO(t *testing.T) {
+	mk := func(delay uint32) []trace.Event {
+		return []trace.Event{
+			trace.Exec(delay),
+			trace.Lock(0, 0x9000), trace.Exec(100), trace.Unlock(0, 0x9000),
+			trace.Exec(1),
+		}
+	}
+	cfg := defCfg()
+	cfg.Lock = locks.QueueExact
+	res := run(t, cfg, "exactfifo", mk(1), mk(30), mk(60))
+	if !(res.CPUs[0].FinishTime < res.CPUs[1].FinishTime &&
+		res.CPUs[1].FinishTime < res.CPUs[2].FinishTime) {
+		t.Errorf("finish order not FIFO: %d %d %d",
+			res.CPUs[0].FinishTime, res.CPUs[1].FinishTime, res.CPUs[2].FinishTime)
+	}
+}
+
+func TestBackoffReducesBusTraffic(t *testing.T) {
+	// Anderson's result: backoff trades hand-off latency for bus
+	// bandwidth. With many spinners, backoff must cut bus transactions.
+	w := contendedWorkload(8, 25, 30, 10)
+	plain := runAlg(t, locks.TTS, w)
+	backoff := runAlg(t, locks.TTSBackoff, w)
+	if backoff.Bus.Total() >= plain.Bus.Total() {
+		t.Errorf("backoff bus transactions %d not below plain T&T&S %d",
+			backoff.Bus.Total(), plain.Bus.Total())
+	}
+	if plain.Locks.Acquisitions != backoff.Locks.Acquisitions {
+		t.Errorf("acquisition counts differ: %d vs %d",
+			plain.Locks.Acquisitions, backoff.Locks.Acquisitions)
+	}
+}
+
+func TestBackoffConfigurable(t *testing.T) {
+	w := contendedWorkload(6, 15, 20, 10)
+	small := defCfg()
+	small.Lock = locks.TTSBackoff
+	small.BackoffBase = 2
+	small.BackoffMax = 8
+	big := defCfg()
+	big.Lock = locks.TTSBackoff
+	big.BackoffBase = 64
+	big.BackoffMax = 4096
+	copyW := func() [][]trace.Event {
+		c := make([][]trace.Event, len(w))
+		for i := range w {
+			c[i] = append([]trace.Event(nil), w[i]...)
+		}
+		return c
+	}
+	resSmall := run(t, small, "smallbackoff", copyW()...)
+	resBig := run(t, big, "bigbackoff", copyW()...)
+	// Bigger backoff → fewer bus ops but longer transfers.
+	if resBig.Bus.Total() >= resSmall.Bus.Total() {
+		t.Errorf("big backoff bus %d not below small %d", resBig.Bus.Total(), resSmall.Bus.Total())
+	}
+	if resBig.Locks.AvgTransferTime() <= resSmall.Locks.AvgTransferTime() {
+		t.Errorf("big backoff transfer %.1f not above small %.1f",
+			resBig.Locks.AvgTransferTime(), resSmall.Locks.AvgTransferTime())
+	}
+}
+
+func TestAllAlgorithmsCompleteRandomTraces(t *testing.T) {
+	for _, alg := range []locks.Algorithm{locks.Queue, locks.TTS, locks.QueueExact, locks.TTSBackoff} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			w := contendedWorkload(5, 12, 35, 20)
+			res := runAlg(t, alg, w)
+			if res.Locks.Acquisitions != 5*12 {
+				t.Errorf("acquisitions = %d, want 60", res.Locks.Acquisitions)
+			}
+		})
+	}
+}
+
+func TestAlgorithmPredicates(t *testing.T) {
+	if !locks.Queue.IsQueue() || !locks.QueueExact.IsQueue() {
+		t.Error("IsQueue wrong")
+	}
+	if !locks.TTS.IsTTS() || !locks.TTSBackoff.IsTTS() {
+		t.Error("IsTTS wrong")
+	}
+	if locks.Queue.IsTTS() || locks.TTS.IsQueue() {
+		t.Error("predicates overlap")
+	}
+	if locks.QueueExact.String() != "queue-exact" || locks.TTSBackoff.String() != "tts-backoff" {
+		t.Error("names wrong")
+	}
+}

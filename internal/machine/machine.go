@@ -1,0 +1,731 @@
+package machine
+
+import (
+	"fmt"
+
+	"syncsim/internal/bus"
+	"syncsim/internal/cache"
+	"syncsim/internal/locks"
+	"syncsim/internal/memory"
+	"syncsim/internal/trace"
+)
+
+// txnKind labels the in-flight bus transaction for completion dispatch.
+type txnKind uint8
+
+const (
+	// txnMemReq: request phase of a split read; enqueue at memory on end.
+	txnMemReq txnKind = iota
+	// txnC2C: cache-to-cache line transfer; fill the requester on end.
+	txnC2C
+	// txnInval: upgrade invalidation; apply the upgrade on end.
+	txnInval
+	// txnWB: write-back transfer; enqueue the write at memory on end.
+	txnWB
+	// txnResp: memory response transfer; fill the requester on end.
+	txnResp
+	// txnLockRel: queuing-lock release write, optionally extended with
+	// the hand-off transfer; release (and grant) the lock on end.
+	txnLockRel
+	// txnLockNotify: the exact queuing lock's post-release write to the
+	// next waiter's spin location; trigger the waiter's re-read on end.
+	txnLockNotify
+)
+
+// busTxn is the single transaction occupying the (serial) bus.
+type busTxn struct {
+	active    bool
+	kind      txnKind
+	start     uint64
+	at        uint64 // completion time
+	cpu       int
+	entryID   uint64
+	line      uint32
+	fillState cache.State
+	lockID    uint32
+	peer      int // txnLockNotify: the waiter being notified
+}
+
+type barrierState struct {
+	waiting  []int
+	episodes uint64
+}
+
+// Machine is one simulated shared-bus multiprocessor executing one trace
+// set. Build it with New and drive it to completion with Run.
+type Machine struct {
+	cfg  Config
+	name string
+
+	cpus  []*cpu
+	bus   *bus.Bus
+	mem   *memory.Memory
+	locks *locks.Manager
+
+	barriers map[uint32]*barrierState
+	lineBusy map[uint32]int // lines with an outstanding memory fill
+
+	txn       busTxn
+	entryID   uint64
+	now       uint64
+	droppedWB uint64
+}
+
+// New builds a machine for the given trace set.
+func New(set *trace.Set, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if set.NCPU() == 0 {
+		return nil, fmt.Errorf("machine: trace set %q has no processors", set.Name)
+	}
+	m := &Machine{
+		cfg:      cfg,
+		name:     set.Name,
+		bus:      bus.New(set.NCPU()+1, cfg.BusTiming), // +1: memory controller
+		mem:      memory.New(cfg.Memory),
+		locks:    locks.NewManager(),
+		barriers: make(map[uint32]*barrierState),
+		lineBusy: make(map[uint32]int),
+	}
+	for i, src := range set.Sources {
+		m.cpus = append(m.cpus, &cpu{
+			id:    i,
+			src:   src,
+			cache: cache.New(cfg.Cache),
+			buf:   newBuffer(cfg.BufDepth),
+			state: stFetch,
+		})
+	}
+	return m, nil
+}
+
+func (m *Machine) nextEntryID() uint64 {
+	m.entryID++
+	return m.entryID
+}
+
+// memRequester is the bus-requester index of the memory controller.
+func (m *Machine) memRequester() int { return len(m.cpus) }
+
+// Run simulates the machine to completion and returns the results.
+func Run(set *trace.Set, cfg Config) (*Result, error) {
+	m, err := New(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Run drives the machine until every processor has retired its trace.
+func (m *Machine) Run() (*Result, error) {
+	const defaultProgressWindow = 1 << 20
+	window := m.cfg.ProgressWindow
+	if window == 0 {
+		window = defaultProgressWindow
+	}
+	idleIters := uint64(0)
+	for {
+		if m.allDone() {
+			break
+		}
+		if m.cfg.MaxCycles > 0 && m.now > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: %s exceeded MaxCycles=%d: %s",
+				m.name, m.cfg.MaxCycles, m.stateDump())
+		}
+		progress := false
+
+		// Phase A: complete the bus transaction ending now; advance the
+		// memory pipeline.
+		if m.txn.active && m.now >= m.txn.at {
+			m.completeTxn()
+			progress = true
+		}
+		m.mem.Tick(m.now)
+
+		// Phase B: let every processor consume trace events. A processor
+		// made progress if its state changed or it started a new
+		// execution burst (busyUntil strictly advances, so run→run
+		// transitions across an event fetch are still caught).
+		for _, c := range m.cpus {
+			before := c.state
+			beforeBusy := c.busyUntil
+			m.step(c, m.now)
+			if c.state != before || c.busyUntil != beforeBusy {
+				progress = true
+			}
+		}
+
+		// Phase C: arbitration.
+		if granted, ok := m.bus.Arbitrate(m.now, m.ready); ok {
+			m.grant(granted)
+			progress = true
+		}
+
+		if progress {
+			idleIters = 0
+		} else {
+			idleIters++
+			if idleIters > window {
+				return nil, fmt.Errorf("machine: %s made no progress for %d iterations at cycle %d (deadlock?): %s",
+					m.name, idleIters, m.now, m.stateDump())
+			}
+		}
+
+		next, ok := m.nextTime()
+		if !ok {
+			if m.allDone() {
+				break
+			}
+			return nil, fmt.Errorf("machine: %s deadlocked at cycle %d: %s", m.name, m.now, m.stateDump())
+		}
+		m.now = next
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) allDone() bool {
+	for _, c := range m.cpus {
+		if c.state != stDone {
+			return false
+		}
+	}
+	return true
+}
+
+// nextTime computes the earliest future cycle at which anything can happen.
+func (m *Machine) nextTime() (uint64, bool) {
+	best := uint64(0)
+	have := false
+	consider := func(t uint64) {
+		if t <= m.now {
+			t = m.now + 1
+		}
+		if !have || t < best {
+			best, have = t, true
+		}
+	}
+	if m.txn.active {
+		consider(m.txn.at)
+	}
+	if at, ok := m.mem.NextEventAt(); ok {
+		consider(at)
+	}
+	if m.mem.HasResponse() {
+		consider(m.now + 1)
+	}
+	for _, c := range m.cpus {
+		switch c.state {
+		case stRun:
+			consider(c.busyUntil)
+		case stFetch, stBufWait:
+			consider(m.now + 1)
+		case stTTSSpin:
+			if c.ttsReread {
+				consider(m.now + 1)
+			}
+		case stTTSBackoff:
+			consider(c.busyUntil)
+		case stDrain, stFinishing:
+			if c.buf.empty() {
+				consider(m.now + 1)
+			}
+		}
+		// Issuable buffer entries wait for the bus, covered by txn.at;
+		// if the bus is free and something is issuable, arbitration
+		// happens next iteration.
+		if m.bus.Free(m.now + 1) {
+			if _, ok := c.buf.issuable(); ok {
+				consider(m.now + 1)
+			}
+		}
+	}
+	return best, have
+}
+
+// ready reports whether bus requester i has a grantable transaction now.
+func (m *Machine) ready(i int) bool {
+	if i == m.memRequester() {
+		return m.mem.HasResponse()
+	}
+	c := m.cpus[i]
+	e, ok := c.buf.issuable()
+	if !ok {
+		return false
+	}
+	switch e.kind {
+	case entRead, entReadOwn:
+		line := e.line
+		if m.lineBusy[line] > 0 {
+			return false // pending-miss conflict: wait for the response
+		}
+		if m.hasSupplier(i, line) {
+			return true
+		}
+		return m.mem.CanAccept()
+	case entUpgrade:
+		return true
+	case entWriteBack, entLockAcquire, entLockRelease, entLockNotify:
+		return m.mem.CanAccept()
+	default:
+		panic(fmt.Sprintf("machine: unknown entry kind %v", e.kind))
+	}
+}
+
+// hasSupplier reports whether any other processor's cache or pending
+// write-back holds the line (Illinois supplies cache-to-cache even when
+// clean; buffered dirty lines are coherence-visible).
+func (m *Machine) hasSupplier(requester int, line uint32) bool {
+	for j, c := range m.cpus {
+		if j == requester {
+			continue
+		}
+		if c.cache.Peek(line) != cache.Invalid {
+			return true
+		}
+		if _, ok := c.buf.pendingWriteBack(line); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// applySnoops broadcasts a transaction's address to every other cache,
+// performing the Illinois transitions, waking test&test&set spinners whose
+// copy is killed, and handling buffered dirty copies. It reports whether a
+// supplier exists.
+func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (supplied bool) {
+	invalidating := op != cache.SnoopRead
+	for j, c := range m.cpus {
+		if j == requester {
+			continue
+		}
+		res := c.cache.Snoop(line, op)
+		if res.HadCopy {
+			supplied = true
+			if invalidating && c.state == stTTSSpin &&
+				m.cfg.Cache.LineAddr(c.ttsLockAddr) == line {
+				c.ttsReread = true
+			}
+		}
+		if wb, ok := c.buf.pendingWriteBack(line); ok {
+			supplied = true
+			if op == cache.SnoopReadOwn {
+				// Ownership moves to the requester; the queued
+				// write-back is superseded.
+				c.buf.remove(wb)
+			}
+		}
+	}
+	return supplied
+}
+
+// grant starts the transaction of the chosen requester on the bus.
+func (m *Machine) grant(i int) {
+	if i == m.memRequester() {
+		resp := m.mem.PopResponse()
+		end := m.bus.Occupy(i, bus.OpResponse, m.now, 0)
+		m.txn = busTxn{
+			active: true, kind: txnResp, start: m.now, at: end,
+			cpu: resp.CPU, entryID: resp.Tag, line: resp.Addr,
+		}
+		return
+	}
+	c := m.cpus[i]
+	e, ok := c.buf.issuable()
+	if !ok {
+		panic("machine: grant to requester with nothing issuable")
+	}
+	switch e.kind {
+	case entRead, entReadOwn:
+		op := cache.SnoopRead
+		if e.kind == entReadOwn {
+			op = cache.SnoopReadOwn
+		}
+		supplied := m.applySnoops(i, e.line, op)
+		e.inFlight = true
+		if supplied {
+			fill := cache.Shared
+			if e.kind == entReadOwn {
+				fill = cache.Modified
+			}
+			end := m.bus.Occupy(i, bus.OpCacheToCache, m.now, 0)
+			m.txn = busTxn{
+				active: true, kind: txnC2C, start: m.now, at: end,
+				cpu: i, entryID: e.id, line: e.line, fillState: fill,
+			}
+			return
+		}
+		busOp := bus.OpRead
+		if e.kind == entReadOwn {
+			busOp = bus.OpReadOwn
+		}
+		end := m.bus.Occupy(i, busOp, m.now, 0)
+		m.lineBusy[e.line]++
+		m.txn = busTxn{
+			active: true, kind: txnMemReq, start: m.now, at: end,
+			cpu: i, entryID: e.id, line: e.line,
+		}
+
+	case entUpgrade:
+		m.applySnoops(i, e.line, cache.SnoopInvalidate)
+		e.inFlight = true
+		end := m.bus.Occupy(i, bus.OpInvalidate, m.now, 0)
+		m.txn = busTxn{
+			active: true, kind: txnInval, start: m.now, at: end,
+			cpu: i, entryID: e.id, line: e.line,
+		}
+
+	case entWriteBack:
+		e.inFlight = true
+		end := m.bus.Occupy(i, bus.OpWriteBack, m.now, 0)
+		m.txn = busTxn{
+			active: true, kind: txnWB, start: m.now, at: end,
+			cpu: i, entryID: e.id, line: e.line,
+		}
+
+	case entLockAcquire:
+		// The acquire's atomic exchange is a memory round trip, like a
+		// read request, but it does not fill the cache.
+		e.inFlight = true
+		end := m.bus.Occupy(i, bus.OpRead, m.now, 0)
+		m.txn = busTxn{
+			active: true, kind: txnMemReq, start: m.now, at: end,
+			cpu: i, entryID: e.id, line: e.line,
+		}
+
+	case entLockNotify:
+		e.inFlight = true
+		// Invalidate the waiter's cached spin location (it spins on a
+		// private word; the releaser's write kills that copy).
+		m.applySnoops(i, e.line, cache.SnoopInvalidate)
+		end := m.bus.Occupy(i, bus.OpRead, m.now, 0)
+		m.txn = busTxn{
+			active: true, kind: txnLockNotify, start: m.now, at: end,
+			cpu: i, entryID: e.id, line: e.line, lockID: e.lockID,
+			peer: e.peer,
+		}
+
+	case entLockRelease:
+		e.inFlight = true
+		handoff := m.locks.Waiters(e.lockID) > 0
+		if m.cfg.Lock == locks.QueueExact {
+			// The exact protocol has no piggybacked hand-off transfer;
+			// the release is a bare memory write and the hand-off costs
+			// a separate notify write plus the waiter's re-read.
+			handoff = false
+		}
+		busOp := bus.OpRead
+		if handoff {
+			// Piggyback the cache-to-cache hand-off to the first
+			// waiter on the release transaction.
+			busOp = bus.OpCacheToCache
+		}
+		end := m.bus.Occupy(i, busOp, m.now, 0)
+		m.txn = busTxn{
+			active: true, kind: txnLockRel, start: m.now, at: end,
+			cpu: i, entryID: e.id, line: e.line, lockID: e.lockID,
+		}
+
+	default:
+		panic(fmt.Sprintf("machine: grant of unknown entry kind %v", e.kind))
+	}
+}
+
+// completeTxn applies the effects of the transaction that just left the bus.
+func (m *Machine) completeTxn() {
+	t := m.txn
+	m.txn.active = false
+	c := m.cpus[t.cpu]
+	switch t.kind {
+	case txnMemReq:
+		if _, ok := c.buf.byID(t.entryID); !ok {
+			panic("machine: memory request for vanished entry")
+		}
+		m.mem.Enqueue(memory.Request{
+			Kind: memory.ReqRead, Addr: t.line, CPU: t.cpu, Tag: t.entryID,
+		})
+
+	case txnC2C:
+		e, ok := c.buf.byID(t.entryID)
+		if !ok {
+			panic("machine: c2c fill for vanished entry")
+		}
+		m.fillLine(c, t.line, t.fillState)
+		m.completeEntry(c, e)
+
+	case txnInval:
+		e, ok := c.buf.byID(t.entryID)
+		if !ok {
+			panic("machine: invalidation for vanished entry")
+		}
+		if !c.cache.Upgrade(t.line) {
+			// Lost the line to a racing remote write between probe and
+			// invalidation: retry as a read-for-ownership.
+			e.kind = entReadOwn
+			e.inFlight = false
+			return
+		}
+		m.completeEntry(c, e)
+
+	case txnWB:
+		e, ok := c.buf.byID(t.entryID)
+		if !ok {
+			// The write-back was superseded by a remote RFO while the
+			// transfer was on the bus; nothing to deliver.
+			return
+		}
+		m.mem.Enqueue(memory.Request{Kind: memory.ReqWrite, Addr: t.line, CPU: t.cpu})
+		c.buf.remove(e)
+
+	case txnResp:
+		e, ok := c.buf.byID(t.entryID)
+		if !ok {
+			panic("machine: response for vanished entry")
+		}
+		switch e.kind {
+		case entLockAcquire:
+			if e.purpose == purQEAcquire1 {
+				// First of the exact enqueue's two memory accesses:
+				// reissue the same entry for the second round trip.
+				e.purpose = purNormal
+				e.inFlight = false
+				return
+			}
+			id, addr := e.lockID, e.line
+			c.buf.remove(e)
+			if m.locks.Request(t.cpu, id, addr, m.now) {
+				c.endStall(m.now)
+				c.state = stFetch
+			} else {
+				c.state = stWaitGrant
+			}
+		case entRead:
+			m.lineBusy[t.line]--
+			if m.lineBusy[t.line] <= 0 {
+				delete(m.lineBusy, t.line)
+			}
+			m.fillLine(c, t.line, cache.Exclusive)
+			m.completeEntry(c, e)
+		case entReadOwn:
+			m.lineBusy[t.line]--
+			if m.lineBusy[t.line] <= 0 {
+				delete(m.lineBusy, t.line)
+			}
+			m.fillLine(c, t.line, cache.Modified)
+			m.completeEntry(c, e)
+		default:
+			panic(fmt.Sprintf("machine: response for entry kind %v", e.kind))
+		}
+
+	case txnLockRel:
+		e, ok := c.buf.byID(t.entryID)
+		if !ok {
+			panic("machine: lock release for vanished entry")
+		}
+		m.mem.Enqueue(memory.Request{Kind: memory.ReqWrite, Addr: t.line, CPU: t.cpu})
+		id := e.lockID
+		c.buf.remove(e)
+		// The lock word's new value hits the bus at the end of the
+		// request phase; the hand-off transfer rides the same tenure.
+		releaseAt := t.start + m.cfg.BusTiming.Request
+		next, has := m.locks.Release(t.cpu, id, releaseAt)
+		if has && m.cfg.Lock == locks.QueueExact {
+			// The exact protocol pays a separate notify write to the
+			// waiter's spin location before the hand-off completes.
+			if !c.buf.full() {
+				c.buf.push(entry{
+					id: m.nextEntryID(), kind: entLockNotify,
+					line: spinAddr(next), lockID: id, peer: next,
+					blocking: true,
+				})
+				c.state = stStall // releaser waits for its notify write
+				return
+			}
+			// Buffer-full corner: fall back to an immediate grant.
+		}
+		if has {
+			m.grantLock(next, id)
+		}
+		c.endStall(m.now)
+		c.state = stFetch
+
+	case txnLockNotify:
+		e, ok := c.buf.byID(t.entryID)
+		if !ok {
+			panic("machine: lock notify for vanished entry")
+		}
+		m.mem.Enqueue(memory.Request{Kind: memory.ReqWrite, Addr: t.line, CPU: t.cpu})
+		id := e.lockID
+		peer := e.peer
+		c.buf.remove(e)
+		// Releaser proceeds; the waiter must now re-read its spin
+		// location (a fresh miss) before it owns the lock.
+		c.endStall(m.now)
+		c.state = stFetch
+		w := m.cpus[peer]
+		if w.state != stWaitGrant {
+			panic(fmt.Sprintf("machine: notify for cpu %d in state %v", peer, w.state))
+		}
+		if w.buf.full() {
+			// Corner: no room for the re-read; grant directly.
+			m.grantLock(peer, id)
+			return
+		}
+		w.buf.push(entry{
+			id: m.nextEntryID(), kind: entRead, purpose: purQERespin,
+			line: m.cfg.Cache.LineAddr(spinAddr(peer)), lockID: id,
+			blocking: true,
+		})
+	}
+}
+
+// fillLine installs a line, handling the rare case where the fill itself
+// evicts a dirty victim (two outstanding fills to one set under weak
+// ordering): the victim's write-back is queued if space permits, otherwise
+// its bus traffic is dropped and counted.
+func (m *Machine) fillLine(c *cpu, line uint32, st cache.State) {
+	victim, evicted := c.cache.Fill(line, st)
+	if evicted && victim.Dirty {
+		if !c.buf.full() {
+			c.buf.push(entry{id: m.nextEntryID(), kind: entWriteBack, line: victim.Addr})
+		} else {
+			m.droppedWB++
+		}
+	}
+}
+
+// completeEntry removes a finished entry and resumes or continues whatever
+// was waiting on it.
+func (m *Machine) completeEntry(c *cpu, e *entry) {
+	pur := e.purpose
+	blocking := e.blocking
+	lockID := e.lockID
+	c.buf.remove(e)
+	switch pur {
+	case purNormal:
+		if blocking {
+			c.endStall(m.now)
+			c.state = stFetch
+		}
+	case purReplay:
+		c.endStall(m.now)
+		c.state = stFetch // the deferred event replays from here
+	case purTTSTest:
+		m.ttsEvaluate(c, m.now)
+	case purTTSSet:
+		m.ttsResolve(c, m.now)
+	case purTTSRelease:
+		m.locks.Release(c.id, lockID, m.now)
+		c.endStall(m.now)
+		c.state = stFetch
+	case purQERespin:
+		// The spin location's new value arrived: the waiter owns the
+		// lock.
+		m.grantLock(c.id, lockID)
+	default:
+		panic(fmt.Sprintf("machine: unknown entry purpose %d", pur))
+	}
+}
+
+// grantLock hands a queuing lock to a waiting processor and resumes it.
+func (m *Machine) grantLock(cpuID int, lockID uint32) {
+	m.locks.Grant(cpuID, lockID, m.now)
+	w := m.cpus[cpuID]
+	if w.state != stWaitGrant && w.state != stStall {
+		panic(fmt.Sprintf("machine: granting lock %d to cpu %d in state %v", lockID, cpuID, w.state))
+	}
+	w.endStall(m.now)
+	w.state = stFetch
+}
+
+// spinAddr is the exact queuing lock's per-processor spin location: each
+// processor spins on its own cache line (Graunke-Thakkar), in a region
+// above the lock words.
+func spinAddr(cpu int) uint32 {
+	return 0xF800_0000 + uint32(cpu)*64
+}
+
+// stateDump renders a compact diagnostic of every processor for deadlock
+// reports.
+func (m *Machine) stateDump() string {
+	s := ""
+	for _, c := range m.cpus {
+		s += fmt.Sprintf("[cpu%d %v buf=%d", c.id, c.state, len(c.buf.entries))
+		if held := m.locks.HeldBy(c.id); len(held) > 0 {
+			s += fmt.Sprintf(" holds=%v", held)
+		}
+		s += "] "
+	}
+	if m.txn.active {
+		s += fmt.Sprintf("txn{kind=%d cpu=%d at=%d} ", m.txn.kind, m.txn.cpu, m.txn.at)
+	}
+	return s
+}
+
+// result assembles the final Result.
+func (m *Machine) result() *Result {
+	res := &Result{
+		Name:              m.name,
+		Config:            m.cfg,
+		CPUs:              make([]CPUResult, len(m.cpus)),
+		Bus:               *m.bus.Stats(),
+		Memory:            *m.mem.Stats(),
+		Locks:             *m.locks.Stats(),
+		LockDetails:       m.locks.PerLock(),
+		DroppedWriteBacks: m.droppedWB,
+	}
+	for _, b := range m.barriers {
+		res.BarrierEpisodes += b.episodes
+	}
+	for i, c := range m.cpus {
+		res.CPUs[i] = CPUResult{
+			WorkCycles:   c.workCycles,
+			FinishTime:   c.finish,
+			StallMiss:    c.stallMiss,
+			StallLock:    c.stallLock,
+			StallBarrier: c.stallBarrier,
+			StallDrain:   c.stallDrain,
+			Refs:         c.refs,
+			LockOps:      c.lockOps,
+			Cache:        *c.cache.Stats(),
+		}
+		if c.finish > res.RunTime {
+			res.RunTime = c.finish
+		}
+	}
+	return res
+}
+
+// CheckCoherence verifies the Illinois invariants across all caches and
+// buffered dirty lines: a line Modified or Exclusive anywhere must not be
+// valid anywhere else. Intended for tests.
+func (m *Machine) CheckCoherence() error {
+	type holder struct {
+		cpu int
+		st  cache.State
+	}
+	lines := make(map[uint32][]holder)
+	for i, c := range m.cpus {
+		c.cache.ForEachLine(func(addr uint32, st cache.State) {
+			lines[addr] = append(lines[addr], holder{i, st})
+		})
+		for _, e := range c.buf.entries {
+			if e.kind == entWriteBack && !e.inFlight {
+				lines[e.line] = append(lines[e.line], holder{i, cache.Modified})
+			}
+		}
+	}
+	for addr, hs := range lines {
+		exclusive := 0
+		for _, h := range hs {
+			if h.st == cache.Modified || h.st == cache.Exclusive {
+				exclusive++
+			}
+		}
+		if exclusive > 1 || (exclusive == 1 && len(hs) > 1) {
+			return fmt.Errorf("machine: coherence violation on line %#x: %v", addr, hs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package memory models the main-memory module of the simulated machine:
+// a single memory bank with a fixed access time, a two-entry input buffer
+// in the memory controller (so a request can arrive while another is being
+// processed — the consequence of the split-transaction bus) and a two-entry
+// output buffer (because the bus may be busy when an access completes).
+package memory
+
+import "fmt"
+
+// ReqKind distinguishes reads (which produce a response on the bus) from
+// writes/write-backs (which complete silently inside the module).
+type ReqKind uint8
+
+const (
+	// ReqRead fetches a line; a response must travel back over the bus.
+	ReqRead ReqKind = iota
+	// ReqWrite commits a line (write-back or reflected dirty data); no
+	// response is generated.
+	ReqWrite
+)
+
+// Request is an entry in the memory input buffer.
+type Request struct {
+	Kind ReqKind
+	Addr uint32 // line-aligned address
+	CPU  int    // requesting processor (for read responses)
+	Tag  uint64 // opaque caller tag carried through to the response
+}
+
+// Response is an entry in the memory output buffer, waiting for the bus.
+type Response struct {
+	Addr uint32
+	CPU  int
+	Tag  uint64
+}
+
+// Config holds the memory timing and buffering parameters.
+type Config struct {
+	AccessTime uint64 // cycles per access (paper: 3)
+	InDepth    int    // input buffer entries (paper: 2)
+	OutDepth   int    // output buffer entries (paper: 2)
+}
+
+// DefaultConfig returns the paper's memory parameters (§2.2).
+func DefaultConfig() Config { return Config{AccessTime: 3, InDepth: 2, OutDepth: 2} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.AccessTime == 0 {
+		return fmt.Errorf("memory: zero access time")
+	}
+	if c.InDepth <= 0 || c.OutDepth <= 0 {
+		return fmt.Errorf("memory: buffer depths must be positive, got in=%d out=%d", c.InDepth, c.OutDepth)
+	}
+	return nil
+}
+
+// Stats counts memory activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	BusyCycles uint64
+}
+
+// Memory is the module. It is driven by the machine's cycle loop: the
+// machine enqueues requests when bus transactions are granted, calls Tick
+// every simulated step, and drains responses by arbitrating the memory
+// controller onto the bus.
+type Memory struct {
+	cfg   Config
+	in    []Request
+	out   []Response
+	busy  bool
+	done  uint64 // cycle at which the in-flight access completes
+	cur   Request
+	stats Stats
+}
+
+// New creates a memory module. It panics on invalid configuration.
+func New(cfg Config) *Memory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Memory{cfg: cfg}
+}
+
+// Stats returns the running statistics.
+func (m *Memory) Stats() *Stats { return &m.stats }
+
+// CanAccept reports whether the input buffer has room for another request.
+// The machine must check this before granting a bus transaction that
+// targets memory; a full buffer back-pressures the bus.
+func (m *Memory) CanAccept() bool { return len(m.in) < m.cfg.InDepth }
+
+// Enqueue adds a request to the input buffer. It panics if the buffer is
+// full; callers must gate on CanAccept.
+func (m *Memory) Enqueue(req Request) {
+	if !m.CanAccept() {
+		panic("memory: Enqueue on full input buffer")
+	}
+	m.in = append(m.in, req)
+}
+
+// HasResponse reports whether a completed read is waiting for the bus.
+func (m *Memory) HasResponse() bool { return len(m.out) > 0 }
+
+// PeekResponse returns the oldest pending response without removing it.
+func (m *Memory) PeekResponse() (Response, bool) {
+	if len(m.out) == 0 {
+		return Response{}, false
+	}
+	return m.out[0], true
+}
+
+// PopResponse removes and returns the oldest pending response. It panics if
+// none is pending.
+func (m *Memory) PopResponse() Response {
+	if len(m.out) == 0 {
+		panic("memory: PopResponse with empty output buffer")
+	}
+	r := m.out[0]
+	copy(m.out, m.out[1:])
+	m.out = m.out[:len(m.out)-1]
+	return r
+}
+
+// Tick advances the module to time now: it completes a finished access and
+// starts the next buffered request when the module is idle. Reads stall
+// inside the module if the output buffer is full (the access cannot retire),
+// which in turn back-pressures the input buffer and then the bus — the
+// behaviour the paper's two-stage buffering produces.
+func (m *Memory) Tick(now uint64) {
+	if m.busy && now >= m.done {
+		if m.cur.Kind == ReqRead {
+			if len(m.out) >= m.cfg.OutDepth {
+				return // output full: hold the access until space frees up
+			}
+			m.out = append(m.out, Response{Addr: m.cur.Addr, CPU: m.cur.CPU, Tag: m.cur.Tag})
+		}
+		m.busy = false
+	}
+	if !m.busy && len(m.in) > 0 {
+		m.cur = m.in[0]
+		copy(m.in, m.in[1:])
+		m.in = m.in[:len(m.in)-1]
+		m.busy = true
+		m.done = now + m.cfg.AccessTime
+		m.stats.BusyCycles += m.cfg.AccessTime
+		if m.cur.Kind == ReqRead {
+			m.stats.Reads++
+		} else {
+			m.stats.Writes++
+		}
+	}
+}
+
+// Idle reports whether the module has no work in flight or buffered. The
+// machine uses this for termination checks and fast-forwarding.
+func (m *Memory) Idle() bool { return !m.busy && len(m.in) == 0 && len(m.out) == 0 }
+
+// NextEventAt returns the next cycle at which calling Tick could change the
+// module's state, or ok == false if the module is fully idle. Used by the
+// machine's fast-forward logic.
+func (m *Memory) NextEventAt() (uint64, bool) {
+	if m.busy {
+		return m.done, true
+	}
+	if len(m.in) > 0 {
+		return 0, true // can start immediately on the next tick
+	}
+	return 0, false
+}

@@ -1,0 +1,110 @@
+// Package stats derives the paper's analytical quantities from simulation
+// results — most importantly the §3.2 decomposition of the test&test&set
+// slowdown into its three causes: lock-transfer latency, inflated hold
+// times, and residual bus contention.
+package stats
+
+import (
+	"fmt"
+
+	"syncsim/internal/machine"
+)
+
+// Decomposition splits the run-time increase of a T&T&S run over a
+// queuing-lock run of the same trace into the paper's three factors.
+type Decomposition struct {
+	// QueueRunTime and TTSRunTime are the two run-times in cycles.
+	QueueRunTime uint64
+	TTSRunTime   uint64
+	// Delta is TTSRunTime − QueueRunTime (may be negative for
+	// uncontended programs, where the difference is noise).
+	Delta int64
+
+	// TransferLatency: the slower hand-off. Each transfer takes
+	// (avg TTS transfer time − avg queue transfer time) longer; the
+	// paper multiplies by the number of transfers (≈78% of Grav's
+	// slowdown).
+	TransferLatency float64
+	// HoldInflation: transferring locks are held a few cycles longer
+	// under T&T&S, and every still-waiting processor pays that cost
+	// (≈17% for Grav/Pdsa).
+	HoldInflation float64
+	// BusResidual: whatever remains — the test&set flurry's bus
+	// contention slowing processors that do not even want the lock
+	// (≈5%).
+	BusResidual float64
+}
+
+// Decompose computes the slowdown decomposition from a queuing-lock result
+// and a T&T&S result of the same workload, following the paper's method:
+// the transfer-latency difference times the transfer count, then the
+// hold-time inflation times the transfer count, then the residual. Because
+// the two serial effects can overlap on the critical path (our simulated
+// hold inflation is larger than the paper's 5-6 cycles), the attribution is
+// bounded: each factor is capped at the slowdown still unexplained, so the
+// three parts always sum to the measured delta.
+func Decompose(q, t *machine.Result) Decomposition {
+	d := Decomposition{
+		QueueRunTime: q.RunTime,
+		TTSRunTime:   t.RunTime,
+		Delta:        int64(t.RunTime) - int64(q.RunTime),
+	}
+	if d.Delta <= 0 {
+		return d
+	}
+	remaining := float64(d.Delta)
+	transfer := (t.Locks.AvgTransferTime() - q.Locks.AvgTransferTime()) *
+		float64(t.Locks.Transfers)
+	d.TransferLatency = clamp(transfer, remaining)
+	remaining -= d.TransferLatency
+	hold := (t.Locks.AvgTransferHold() - q.Locks.AvgTransferHold()) *
+		float64(t.Locks.Transfers)
+	d.HoldInflation = clamp(hold, remaining)
+	d.BusResidual = remaining - d.HoldInflation
+	return d
+}
+
+func clamp(v, max float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
+}
+
+// Percentages returns each factor as a percentage of the total slowdown.
+// All zeros when there was no slowdown.
+func (d Decomposition) Percentages() (transfer, hold, bus float64) {
+	if d.Delta <= 0 {
+		return 0, 0, 0
+	}
+	f := 100 / float64(d.Delta)
+	return d.TransferLatency * f, d.HoldInflation * f, d.BusResidual * f
+}
+
+// SlowdownPct returns the T&T&S slowdown as a percentage of the queue run.
+func (d Decomposition) SlowdownPct() float64 {
+	if d.QueueRunTime == 0 {
+		return 0
+	}
+	return 100 * float64(d.Delta) / float64(d.QueueRunTime)
+}
+
+func (d Decomposition) String() string {
+	tp, hp, bp := d.Percentages()
+	return fmt.Sprintf(
+		"T&T&S %.1f%% slower (%d vs %d cycles); transfer latency %.0f cycles (%.0f%%), hold inflation %.0f (%.0f%%), bus residual %.0f (%.0f%%)",
+		d.SlowdownPct(), d.TTSRunTime, d.QueueRunTime,
+		d.TransferLatency, tp, d.HoldInflation, hp, d.BusResidual, bp)
+}
+
+// DiffPct returns the percentage decrease of b's run-time relative to a's
+// (positive when b is faster), the paper's Table 7 "Difference" column.
+func DiffPct(a, b *machine.Result) float64 {
+	if a.RunTime == 0 {
+		return 0
+	}
+	return 100 * (float64(a.RunTime) - float64(b.RunTime)) / float64(a.RunTime)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/machine"
+)
+
+func mkResult(runtime uint64, xferTime, xferHold float64, transfers uint64) *machine.Result {
+	ls := locks.Stats{
+		Transfers:          transfers,
+		TransferWaitCycles: uint64(xferTime * float64(transfers)),
+		TransferHoldCycles: uint64(xferHold * float64(transfers)),
+		Acquisitions:       transfers + 10,
+	}
+	return &machine.Result{RunTime: runtime, Locks: ls}
+}
+
+func TestDecomposeAttributesFactors(t *testing.T) {
+	q := mkResult(1_000_000, 2, 300, 1000)
+	tt := mkResult(1_080_000, 25, 305, 1000)
+	d := Decompose(q, tt)
+	if d.Delta != 80_000 {
+		t.Fatalf("Delta = %d", d.Delta)
+	}
+	// Transfer latency: (25-2)×1000 = 23000 cycles.
+	if math.Abs(d.TransferLatency-23000) > 1 {
+		t.Errorf("TransferLatency = %f, want 23000", d.TransferLatency)
+	}
+	// Hold inflation: (305-300)×1000 = 5000.
+	if math.Abs(d.HoldInflation-5000) > 1 {
+		t.Errorf("HoldInflation = %f, want 5000", d.HoldInflation)
+	}
+	// Residual: the rest.
+	if math.Abs(d.BusResidual-52000) > 1 {
+		t.Errorf("BusResidual = %f, want 52000", d.BusResidual)
+	}
+	tp, hp, bp := d.Percentages()
+	if math.Abs(tp+hp+bp-100) > 0.01 {
+		t.Errorf("percentages sum to %f", tp+hp+bp)
+	}
+	if got := d.SlowdownPct(); math.Abs(got-8) > 0.01 {
+		t.Errorf("SlowdownPct = %f, want 8", got)
+	}
+}
+
+func TestDecomposeBoundedAttribution(t *testing.T) {
+	// Factors larger than the delta must be capped, never negative
+	// residuals from over-attribution.
+	q := mkResult(1_000_000, 2, 300, 1000)
+	tt := mkResult(1_010_000, 25, 500, 1000) // factors would sum to 223k ≫ 10k
+	d := Decompose(q, tt)
+	if d.TransferLatency+d.HoldInflation+d.BusResidual != float64(d.Delta) {
+		t.Fatalf("factors do not sum to delta: %f + %f + %f != %d",
+			d.TransferLatency, d.HoldInflation, d.BusResidual, d.Delta)
+	}
+	if d.BusResidual < 0 || d.HoldInflation < 0 {
+		t.Fatalf("negative factor: %+v", d)
+	}
+}
+
+func TestDecomposeNoSlowdown(t *testing.T) {
+	q := mkResult(1_000_000, 2, 300, 100)
+	tt := mkResult(999_000, 20, 300, 100)
+	d := Decompose(q, tt)
+	if d.Delta >= 0 {
+		t.Fatalf("Delta = %d, want negative", d.Delta)
+	}
+	tp, hp, bp := d.Percentages()
+	if tp != 0 || hp != 0 || bp != 0 {
+		t.Error("percentages of a speedup should be zeros")
+	}
+}
+
+func TestDecompositionString(t *testing.T) {
+	d := Decompose(mkResult(1000, 2, 10, 10), mkResult(1100, 12, 11, 10))
+	s := d.String()
+	for _, want := range []string{"slower", "transfer latency", "hold", "bus"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDiffPct(t *testing.T) {
+	a := &machine.Result{RunTime: 1000}
+	b := &machine.Result{RunTime: 990}
+	if got := DiffPct(a, b); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("DiffPct = %f, want 1.0", got)
+	}
+	if got := DiffPct(&machine.Result{}, b); got != 0 {
+		t.Errorf("DiffPct with zero base = %f", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-5, 10) != 0 || clamp(5, 10) != 5 || clamp(15, 10) != 10 {
+		t.Error("clamp broken")
+	}
+}

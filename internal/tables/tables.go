@@ -1,0 +1,305 @@
+// Package tables renders the paper's eight evaluation tables (and the
+// §3.2 slowdown decomposition) from simulation outcomes, side by side with
+// the published values so reproduction quality is visible at a glance.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"syncsim/internal/core"
+)
+
+// writer builds fixed-width text tables.
+type writer struct {
+	sb     strings.Builder
+	widths []int
+	rows   [][]string
+}
+
+func (w *writer) row(cells ...string) {
+	w.rows = append(w.rows, cells)
+	for i, c := range cells {
+		for len(w.widths) <= i {
+			w.widths = append(w.widths, 0)
+		}
+		if len(c) > w.widths[i] {
+			w.widths[i] = len(c)
+		}
+	}
+}
+
+func (w *writer) render(title string) string {
+	w.sb.WriteString(title)
+	w.sb.WriteByte('\n')
+	total := 0
+	for _, width := range w.widths {
+		total += width + 2
+	}
+	w.sb.WriteString(strings.Repeat("-", total))
+	w.sb.WriteByte('\n')
+	for r, cells := range w.rows {
+		for i, c := range cells {
+			pad := w.widths[i] - len(c)
+			if i == 0 {
+				w.sb.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				w.sb.WriteString(strings.Repeat(" ", pad) + c)
+			}
+			w.sb.WriteString("  ")
+		}
+		w.sb.WriteByte('\n')
+		if r == 0 {
+			w.sb.WriteString(strings.Repeat("-", total))
+			w.sb.WriteByte('\n')
+		}
+	}
+	return w.sb.String()
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d(v uint64) string   { return fmt.Sprintf("%d", v) }
+func kf(v float64) string { return fmt.Sprintf("%.0f", v/1000) }
+
+// Table1 renders the benchmark ideal statistics (cycles and references per
+// processor, in thousands), with the paper's values in parentheses.
+func Table1(outs []*core.Outcome) string {
+	var w writer
+	w.row("Program", "Proc", "Work kcyc", "(paper)", "Refs k", "(paper)", "Data k", "(paper)", "Shared k", "(paper)")
+	for _, o := range outs {
+		w.row(o.Name,
+			d(uint64(o.Ideal.NCPU)),
+			kf(o.Ideal.WorkCycles), f0(o.Paper.WorkKCycles*scaleOf(o)),
+			kf(o.Ideal.Refs), f0(o.Paper.RefsK*scaleOf(o)),
+			kf(o.Ideal.DataRefs), f0(o.Paper.DataK*scaleOf(o)),
+			kf(o.Ideal.SharedRefs), f0(o.Paper.SharedK*scaleOf(o)),
+		)
+	}
+	return w.render(fmt.Sprintf("Table 1: Benchmark Ideal Statistics (per-CPU averages; scale %g)", outs[0].Params.Scale))
+}
+
+// scaleOf returns the workload scale, for shrinking the paper's published
+// magnitudes to the run's scale in extensive columns.
+func scaleOf(o *core.Outcome) float64 {
+	if o.Params.Scale == 0 {
+		return 1
+	}
+	return o.Params.Scale
+}
+
+// Table2 renders the benchmarks' ideal lock statistics.
+func Table2(outs []*core.Outcome) string {
+	var w writer
+	w.row("Program", "Lock Pairs", "(paper)", "Nested", "(paper)", "Avg Held", "(paper)", "Total k", "(paper)", "% Time", "(paper)")
+	for _, o := range outs {
+		avgPaper := "N/A"
+		if o.Paper.AvgHeld > 0 {
+			avgPaper = f0(o.Paper.AvgHeld)
+		}
+		avg := "N/A"
+		if o.Ideal.LockPairs > 0 {
+			avg = f0(o.Ideal.AvgHeld)
+		}
+		w.row(o.Name,
+			f0(o.Ideal.LockPairs), f0(o.Paper.LockPairs*scaleOf(o)),
+			f0(o.Ideal.NestedLocks), f0(o.Paper.NestedLocks*scaleOf(o)),
+			avg, avgPaper,
+			kf(o.Ideal.TotalHeld), f0(o.Paper.TotalHeldK*scaleOf(o)),
+			f1(o.Ideal.PctTime), f1(o.Paper.PctTime),
+		)
+	}
+	return w.render("Table 2: Benchmark Ideal Lock Statistics (per-CPU averages)")
+}
+
+// paperTable3 holds the published runtime rows for the queue-lock model,
+// used for side-by-side comparison. Keyed by benchmark name.
+var paperTable3 = map[string][3]float64{ // util%, cache-stall%, lock-stall%
+	"Grav":     {32.6, 3.2, 96.5},
+	"Pdsa":     {40.3, 10.2, 89.5},
+	"FullConn": {95.5, 86.9, 10.2},
+	"Pverify":  {96.1, 100.0, 0.0},
+	"Qsort":    {67.8, 99.7, 0.3},
+	"Topopt":   {99.3, 100.0, 0.0},
+}
+
+var paperTable5 = map[string][3]float64{
+	"Grav":     {30.7, 3.6, 96.4},
+	"Pdsa":     {37.9, 9.8, 90.2},
+	"FullConn": {94.6, 88.0, 12.0},
+	"Pverify":  {96.1, 99.1, 0.9},
+	"Qsort":    {67.6, 99.4, 0.6},
+}
+
+// runtimeTable renders a Table-3/5-style block for the given model.
+func runtimeTable(outs []*core.Outcome, model core.Model, title string, paper map[string][3]float64) string {
+	var w writer
+	w.row("Program", "Run-time", "Util %", "(paper)", "Cache %", "(paper)", "Lock %", "(paper)")
+	for _, o := range outs {
+		res, ok := o.Results[model]
+		if !ok {
+			continue
+		}
+		pp, hasPaper := paper[o.Name]
+		pu, pc, pl := "-", "-", "-"
+		if hasPaper {
+			pu, pc, pl = f1(pp[0]), f1(pp[1]), f1(pp[2])
+		}
+		cachePct, lockPct, _ := res.StallBreakdown()
+		w.row(o.Name,
+			d(res.RunTime),
+			f1(100*res.AvgUtilization()), pu,
+			f1(cachePct), pc,
+			f1(lockPct), pl,
+		)
+	}
+	return w.render(title)
+}
+
+// Table3 renders the queue-lock runtime statistics.
+func Table3(outs []*core.Outcome) string {
+	return runtimeTable(outs, core.ModelQueue,
+		"Table 3: Benchmark Runtime Statistics — Queuing Lock Implementation", paperTable3)
+}
+
+// Table5 renders the test&test&set runtime statistics.
+func Table5(outs []*core.Outcome) string {
+	return runtimeTable(outs, core.ModelTTS,
+		"Table 5: Benchmark Runtime Statistics — Test&Test&Set", paperTable5)
+}
+
+var paperTable4 = map[string][4]float64{ // held, transfers, waiters, xfer-held
+	"Grav":     {211, 28725, 5.19, 336},
+	"Pdsa":     {203, 16977, 6.18, 356},
+	"FullConn": {389, 344, 0.40, 844},
+	"Pverify":  {3766, 28, 0.00, 41},
+	"Qsort":    {120, 180, 0.89, 174},
+}
+
+var paperTable6 = map[string][4]float64{
+	"Grav":     {217, 28742, 5.16, 343},
+	"Pdsa":     {208, 16882, 6.21, 363},
+	"FullConn": {409, 338, 0.30, 978},
+	"Pverify":  {3767, 36, 0.03, 48},
+	"Qsort":    {130, 166, 0.61, 181},
+}
+
+var paperTable8 = map[string][4]float64{
+	"Grav":     {211, 28468, 5.25, 338},
+	"Pdsa":     {203, 16919, 6.26, 357},
+	"FullConn": {390, 373, 0.34, 857},
+	"Pverify":  {3758, 21, 0.00, 40},
+	"Qsort":    {100, 151, 1.05, 155},
+}
+
+// contentionTable renders a Table-4/6/8-style block.
+func contentionTable(outs []*core.Outcome, model core.Model, title string, paper map[string][4]float64) string {
+	var w writer
+	w.row("Program", "Held", "(paper)", "Transfers", "(paper)", "Waiters", "(paper)", "XferHeld", "(paper)", "XferTime")
+	for _, o := range outs {
+		res, ok := o.Results[model]
+		if !ok || res.Locks.Acquisitions == 0 {
+			continue
+		}
+		pp, hasPaper := paper[o.Name]
+		ph, pt, pw, px := "-", "-", "-", "-"
+		if hasPaper {
+			ph, pw, px = f0(pp[0]), f2(pp[2]), f0(pp[3])
+			pt = f0(pp[1] * scaleOf(o))
+		}
+		w.row(o.Name,
+			f0(res.Locks.AvgHold()), ph,
+			d(res.Locks.Transfers), pt,
+			f2(res.Locks.AvgWaitersAtTransfer()), pw,
+			f0(res.Locks.AvgTransferHold()), px,
+			f1(res.Locks.AvgTransferTime()),
+		)
+	}
+	return w.render(title)
+}
+
+// Table4 renders lock contention statistics under queuing locks.
+func Table4(outs []*core.Outcome) string {
+	return contentionTable(outs, core.ModelQueue,
+		"Table 4: Lock Contention Statistics — Queuing Lock Implementation", paperTable4)
+}
+
+// Table6 renders lock contention statistics under test&test&set.
+func Table6(outs []*core.Outcome) string {
+	return contentionTable(outs, core.ModelTTS,
+		"Table 6: Lock Contention Statistics — Test&Test&Set", paperTable6)
+}
+
+// Table8 renders lock contention statistics under weak ordering.
+func Table8(outs []*core.Outcome) string {
+	return contentionTable(outs, core.ModelWO,
+		"Table 8: Weak Ordering Lock Contention Statistics", paperTable8)
+}
+
+var paperTable7 = map[string][3]float64{ // util%, diff%, write-hit%
+	"Grav":     {32.6, 0.08, 90.9},
+	"Pdsa":     {40.5, 0.29, 90.5},
+	"FullConn": {95.5, 0.31, 91.6},
+	"Pverify":  {96.3, 0.17, 98.4},
+	"Qsort":    {67.9, 0.02, 99.0},
+	"Topopt":   {99.4, 0.17, 97.4},
+}
+
+// Table7 renders the weak-ordering runtime statistics, including the
+// percentage run-time decrease relative to the sequentially consistent
+// queue-lock run.
+func Table7(outs []*core.Outcome) string {
+	var w writer
+	w.row("Program", "Run-time", "Util %", "(paper)", "Diff %", "(paper)", "WriteHit %", "(paper)")
+	for _, o := range outs {
+		wo, okW := o.Results[core.ModelWO]
+		sc, okQ := o.Results[core.ModelQueue]
+		if !okW {
+			continue
+		}
+		diff := "-"
+		if okQ && sc.RunTime > 0 {
+			diff = f2(100 * (float64(sc.RunTime) - float64(wo.RunTime)) / float64(sc.RunTime))
+		}
+		pp, hasPaper := paperTable7[o.Name]
+		pu, pd, pw := "-", "-", "-"
+		if hasPaper {
+			pu, pd, pw = f1(pp[0]), f2(pp[1]), f1(pp[2])
+		}
+		w.row(o.Name,
+			d(wo.RunTime),
+			f1(100*wo.AvgUtilization()), pu,
+			diff, pd,
+			f1(100*wo.WriteHitRatio()), pw,
+		)
+	}
+	return w.render("Table 7: Weak Ordering Runtime Statistics (Diff vs Table 3)")
+}
+
+// Decomposition renders the §3.2 slowdown decomposition for every
+// benchmark that ran under both lock models and slowed down under T&T&S.
+// The paper reports ≈78% / 17% / 5% for Grav and Pdsa.
+func Decomposition(outs []*core.Outcome) string {
+	var w writer
+	w.row("Program", "Slowdown %", "Transfer %", "Hold %", "Bus %")
+	for _, o := range outs {
+		dec, ok := o.Decomposition()
+		if !ok || o.Ideal.LockPairs == 0 {
+			continue
+		}
+		tp, hp, bp := dec.Percentages()
+		w.row(o.Name, f1(dec.SlowdownPct()), f0(tp), f0(hp), f0(bp))
+	}
+	return w.render("§3.2: T&T&S slowdown decomposition (paper, Grav/Pdsa: ≈8% = 78% + 17% + 5%)")
+}
+
+// All renders every table in paper order.
+func All(outs []*core.Outcome) string {
+	sections := []string{
+		Table1(outs), Table2(outs), Table3(outs), Table4(outs),
+		Table5(outs), Table6(outs), Table7(outs), Table8(outs),
+		Decomposition(outs),
+	}
+	return strings.Join(sections, "\n")
+}

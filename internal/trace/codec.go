@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace container.
+//
+// Layout (all multi-byte integers are unsigned LEB128 varints unless noted):
+//
+//	magic   "SSTR" (4 bytes)
+//	version u8 (currently 1)
+//	name    varint length + bytes
+//	ncpu    varint
+//	ncpu ×:
+//	    nevents varint
+//	    nevents × record
+//
+// Each record is one byte of kind followed by kind-dependent payload:
+//
+//	exec:                cycles varint
+//	ifetch/read/write:   pre-execution cycles varint, then the zig-zag
+//	                     delta from the previous address of the same
+//	                     stream (references are strongly local, so deltas
+//	                     compress far better than raw addresses)
+//	lock/unlock:         id varint, addr delta zig-zag varint
+//	barrier:             id varint
+//	end:                 nothing
+const (
+	codecMagic   = "SSTR"
+	codecVersion = 1
+)
+
+// Common codec errors.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic; not a trace container")
+	ErrBadVersion = errors.New("trace: unsupported container version")
+	ErrCorrupt    = errors.New("trace: corrupt container")
+)
+
+// Encode writes a full multi-processor trace to w. The per-CPU traces are
+// provided as materialised event slices.
+func Encode(w io.Writer, name string, cpus [][]Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(name)))
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(cpus)))
+	for _, events := range cpus {
+		writeUvarint(bw, uint64(len(events)))
+		var prevAddr uint32
+		for _, ev := range events {
+			if err := writeEvent(bw, ev, &prevAddr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeSet drains every source in the set and encodes the result. The
+// sources are consumed; use Buffers (and Rewind) if the trace is needed
+// again afterwards.
+func EncodeSet(w io.Writer, set *Set) error {
+	cpus := make([][]Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = Drain(src)
+	}
+	return Encode(w, set.Name, cpus)
+}
+
+func writeEvent(bw *bufio.Writer, ev Event, prevAddr *uint32) error {
+	if !ev.Kind.Valid() {
+		return fmt.Errorf("trace: cannot encode invalid event kind %d", ev.Kind)
+	}
+	if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+		return err
+	}
+	switch ev.Kind {
+	case KindExec:
+		writeUvarint(bw, uint64(ev.Arg))
+	case KindIFetch, KindRead, KindWrite:
+		writeUvarint(bw, uint64(ev.Arg))
+		writeVarint(bw, int64(int32(ev.Addr-*prevAddr)))
+		*prevAddr = ev.Addr
+	case KindLock, KindUnlock:
+		writeUvarint(bw, uint64(ev.Arg))
+		writeVarint(bw, int64(int32(ev.Addr-*prevAddr)))
+		*prevAddr = ev.Addr
+	case KindBarrier:
+		writeUvarint(bw, uint64(ev.Arg))
+	case KindEnd:
+	}
+	return nil
+}
+
+// Decode parses a trace container produced by Encode.
+func Decode(r io.Reader) (name string, cpus [][]Event, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic) != codecMagic {
+		return "", nil, ErrBadMagic
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return "", nil, corrupt(err)
+	}
+	if version != codecVersion {
+		return "", nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, version, codecVersion)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", nil, corrupt(err)
+	}
+	if nameLen > 1<<20 {
+		return "", nil, fmt.Errorf("%w: unreasonable name length %d", ErrCorrupt, nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return "", nil, corrupt(err)
+	}
+	ncpu, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", nil, corrupt(err)
+	}
+	if ncpu > 1<<16 {
+		return "", nil, fmt.Errorf("%w: unreasonable CPU count %d", ErrCorrupt, ncpu)
+	}
+	cpus = make([][]Event, ncpu)
+	for i := range cpus {
+		nev, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", nil, corrupt(err)
+		}
+		events := make([]Event, 0, min64(nev, 1<<20))
+		var prevAddr uint32
+		for j := uint64(0); j < nev; j++ {
+			ev, err := readEvent(br, &prevAddr)
+			if err != nil {
+				return "", nil, corrupt(err)
+			}
+			events = append(events, ev)
+		}
+		cpus[i] = events
+	}
+	return string(nameBytes), cpus, nil
+}
+
+// DecodeSet parses a container into a Set of replayable Buffers.
+func DecodeSet(r io.Reader) (*Set, error) {
+	name, cpus, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return BufferSet(name, cpus), nil
+}
+
+func readEvent(br *bufio.Reader, prevAddr *uint32) (Event, error) {
+	kindByte, err := br.ReadByte()
+	if err != nil {
+		return Event{}, err
+	}
+	kind := Kind(kindByte)
+	if !kind.Valid() {
+		return Event{}, fmt.Errorf("invalid event kind %d", kindByte)
+	}
+	ev := Event{Kind: kind}
+	switch kind {
+	case KindExec:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Arg = uint32(n)
+	case KindIFetch, KindRead, KindWrite:
+		pre, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, err
+		}
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Arg = uint32(pre)
+		*prevAddr += uint32(int32(d))
+		ev.Addr = *prevAddr
+	case KindLock, KindUnlock:
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, err
+		}
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Arg = uint32(id)
+		*prevAddr += uint32(int32(d))
+		ev.Addr = *prevAddr
+	case KindBarrier:
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Arg = uint32(id)
+	case KindEnd:
+	}
+	return ev, nil
+}
+
+func corrupt(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: unexpected end of data", ErrCorrupt)
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // flushed error surfaces in Flush
+}
+
+func writeVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n]) //nolint:errcheck // flushed error surfaces in Flush
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, name string, cpus [][]Event) (string, [][]Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, name, cpus); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	gotName, gotCPUs, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return gotName, gotCPUs
+}
+
+func TestCodecRoundTripBasic(t *testing.T) {
+	cpus := [][]Event{
+		sampleEvents(),
+		{Exec(100), Barrier(1), End()},
+		nil,
+	}
+	name, got := roundTrip(t, "bench", cpus)
+	if name != "bench" {
+		t.Errorf("name = %q, want bench", name)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ncpu = %d, want 3", len(got))
+	}
+	for i := range cpus {
+		want := cpus[i]
+		if want == nil {
+			want = []Event{}
+		}
+		if len(got[i]) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("cpu %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	name, got := roundTrip(t, "", [][]Event{})
+	if name != "" || len(got) != 0 {
+		t.Fatalf("got name=%q ncpu=%d, want empty", name, len(got))
+	}
+}
+
+func TestCodecAddressDeltas(t *testing.T) {
+	// Addresses that go forwards, backwards and wrap the 32-bit space.
+	events := []Event{
+		Read(0), Read(0xFFFFFFFF), Read(1), Write(0x80000000),
+		IFetch(0x7FFFFFFF), Lock(5, 0x10), Unlock(5, 0x10),
+	}
+	_, got := roundTrip(t, "addr", [][]Event{events})
+	if !reflect.DeepEqual(got[0], events) {
+		t.Fatalf("got %v, want %v", got[0], events)
+	}
+}
+
+func randomEvents(rng *rand.Rand, n int) []Event {
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(7) {
+		case 0:
+			events = append(events, Exec(uint32(rng.Intn(1000)+1)))
+		case 1:
+			events = append(events, IFetchAfter(uint32(rng.Intn(8)), rng.Uint32()))
+		case 2:
+			events = append(events, ReadAfter(uint32(rng.Intn(8)), rng.Uint32()))
+		case 3:
+			events = append(events, WriteAfter(uint32(rng.Intn(8)), rng.Uint32()))
+		case 4:
+			id := uint32(rng.Intn(16))
+			events = append(events, Lock(id, id*64))
+		case 5:
+			id := uint32(rng.Intn(16))
+			events = append(events, Unlock(id, id*64))
+		case 6:
+			events = append(events, Barrier(uint32(rng.Intn(4))))
+		}
+	}
+	return events
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	// Property: Read(Write(x)) == x for arbitrary event streams.
+	check := func(seed int64, ncpu uint8, perCPU uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(ncpu%8) + 1
+		cpus := make([][]Event, n)
+		for i := range cpus {
+			cpus[i] = randomEvents(rng, int(perCPU%512))
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, "prop", cpus); err != nil {
+			return false
+		}
+		_, got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range cpus {
+			if len(cpus[i]) != len(got[i]) {
+				return false
+			}
+			for j := range cpus[i] {
+				if cpus[i][j] != got[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	_, _, err := Decode(bytes.NewReader([]byte("NOPE\x01")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // corrupt the version byte
+	_, _, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, "trunc", [][]Event{sampleEvents()}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Every strict prefix must fail cleanly, not panic or succeed.
+	for cut := 0; cut < len(data); cut++ {
+		_, _, err := Decode(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("Decode succeeded on %d-byte prefix of %d-byte container", cut, len(data))
+		}
+	}
+}
+
+func TestCodecRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, "k", [][]Event{{Exec(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-2] = 0xEE // stomp the kind byte of the only event
+	_, _, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteSetReadSet(t *testing.T) {
+	set := BufferSet("ws", [][]Event{sampleEvents(), {Exec(9)}})
+	var buf bytes.Buffer
+	if err := EncodeSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "ws" || got.NCPU() != 2 {
+		t.Fatalf("got name=%q ncpu=%d", got.Name, got.NCPU())
+	}
+	if evs := Drain(got.Sources[0]); !reflect.DeepEqual(evs, sampleEvents()) {
+		t.Fatalf("cpu0 = %v, want %v", evs, sampleEvents())
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// Sequential ifetch addresses should delta-encode to ~2-3 bytes per
+	// event; sanity-check the container is far smaller than the naive
+	// 9-byte-per-event encoding.
+	events := make([]Event, 0, 10000)
+	addr := uint32(0x1000)
+	for i := 0; i < 10000; i++ {
+		events = append(events, IFetch(addr))
+		addr += 4
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, "compact", [][]Event{events}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4*len(events) {
+		t.Fatalf("container is %d bytes for %d events; delta encoding broken?", buf.Len(), len(events))
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compact is an append-only, varint-encoded in-memory trace for one
+// processor. Large generated traces (millions of events) stay at a few
+// bytes per event instead of the 12 bytes of the Event struct, which makes
+// paper-scale workloads (multi-million references per CPU) practical to
+// hold in memory.
+//
+// Append events with Add, then create any number of independent replay
+// cursors with NewSource.
+type Compact struct {
+	buf      []byte
+	n        int
+	prevAddr uint32
+}
+
+// Len returns the number of events stored.
+func (c *Compact) Len() int { return c.n }
+
+// Bytes returns the encoded size in bytes, for diagnostics.
+func (c *Compact) Bytes() int { return len(c.buf) }
+
+// Add appends an event. It panics on invalid event kinds; generators are
+// trusted code.
+func (c *Compact) Add(ev Event) {
+	if !ev.Kind.Valid() {
+		panic(fmt.Sprintf("trace: Compact.Add of invalid kind %d", ev.Kind))
+	}
+	c.buf = append(c.buf, byte(ev.Kind))
+	switch ev.Kind {
+	case KindExec, KindBarrier:
+		c.buf = binary.AppendUvarint(c.buf, uint64(ev.Arg))
+	case KindIFetch, KindRead, KindWrite:
+		c.buf = binary.AppendUvarint(c.buf, uint64(ev.Arg))
+		c.buf = binary.AppendVarint(c.buf, int64(int32(ev.Addr-c.prevAddr)))
+		c.prevAddr = ev.Addr
+	case KindLock, KindUnlock:
+		c.buf = binary.AppendUvarint(c.buf, uint64(ev.Arg))
+		c.buf = binary.AppendVarint(c.buf, int64(int32(ev.Addr-c.prevAddr)))
+		c.prevAddr = ev.Addr
+	case KindEnd:
+	}
+	c.n++
+}
+
+// NewSource returns a replay cursor positioned at the first event. Multiple
+// cursors over one Compact are independent; the Compact must not be
+// appended to while cursors are in use.
+func (c *Compact) NewSource() *CompactSource {
+	return &CompactSource{c: c}
+}
+
+// CompactSource replays a Compact trace as a Source.
+type CompactSource struct {
+	c        *Compact
+	pos      int
+	read     int
+	prevAddr uint32
+}
+
+// Next implements Source.
+func (s *CompactSource) Next() (Event, bool) {
+	if s.read >= s.c.n {
+		return Event{}, false
+	}
+	kind := Kind(s.c.buf[s.pos])
+	s.pos++
+	ev := Event{Kind: kind}
+	switch kind {
+	case KindExec, KindBarrier:
+		v, n := binary.Uvarint(s.c.buf[s.pos:])
+		s.pos += n
+		ev.Arg = uint32(v)
+	case KindIFetch, KindRead, KindWrite:
+		v, n := binary.Uvarint(s.c.buf[s.pos:])
+		s.pos += n
+		ev.Arg = uint32(v)
+		d, n2 := binary.Varint(s.c.buf[s.pos:])
+		s.pos += n2
+		s.prevAddr += uint32(int32(d))
+		ev.Addr = s.prevAddr
+	case KindLock, KindUnlock:
+		v, n := binary.Uvarint(s.c.buf[s.pos:])
+		s.pos += n
+		ev.Arg = uint32(v)
+		d, n2 := binary.Varint(s.c.buf[s.pos:])
+		s.pos += n2
+		s.prevAddr += uint32(int32(d))
+		ev.Addr = s.prevAddr
+	case KindEnd:
+	}
+	s.read++
+	return ev, true
+}
+
+// CloneSource returns an independent cursor over the same compact trace,
+// positioned at the first event. The underlying buffer is shared read-only.
+func (s *CompactSource) CloneSource() Source { return s.c.NewSource() }
+
+// Rewind repositions the cursor at the first event.
+func (s *CompactSource) Rewind() {
+	s.pos = 0
+	s.read = 0
+	s.prevAddr = 0
+}
+
+// CompactSet builds a trace Set whose sources replay the given compact
+// per-CPU traces.
+func CompactSet(name string, cpus []*Compact) *Set {
+	set := &Set{Name: name, Sources: make([]Source, len(cpus))}
+	for i, c := range cpus {
+		set.Sources[i] = c.NewSource()
+	}
+	return set
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	events := []Event{
+		Exec(10), ReadAfter(3, 0x1000), WriteAfter(0, 0x2000),
+		IFetchAfter(2, 0x100), Lock(1, 0x9000), Exec(5), Unlock(1, 0x9000),
+		Barrier(2),
+	}
+	var c Compact
+	for _, ev := range events {
+		c.Add(ev)
+	}
+	if c.Len() != len(events) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(events))
+	}
+	got := Drain(c.NewSource())
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("replay = %v, want %v", got, events)
+	}
+}
+
+func TestCompactMultipleCursors(t *testing.T) {
+	var c Compact
+	c.Add(Exec(1))
+	c.Add(Read(0x10))
+	s1, s2 := c.NewSource(), c.NewSource()
+	a1 := Drain(s1)
+	a2 := Drain(s2)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("cursors disagree: %v vs %v", a1, a2)
+	}
+}
+
+func TestCompactRewind(t *testing.T) {
+	var c Compact
+	c.Add(Read(0x10))
+	c.Add(Write(0x20))
+	s := c.NewSource()
+	first := Drain(s)
+	s.Rewind()
+	second := Drain(s)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("rewind replay differs")
+	}
+}
+
+func TestCompactAddInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add of invalid kind did not panic")
+		}
+	}()
+	var c Compact
+	c.Add(Event{Kind: 99})
+}
+
+func TestCompactSet(t *testing.T) {
+	var a, b Compact
+	a.Add(Exec(1))
+	b.Add(Exec(2))
+	b.Add(Exec(3))
+	set := CompactSet("cs", []*Compact{&a, &b})
+	if set.NCPU() != 2 || set.Name != "cs" {
+		t.Fatalf("set = %+v", set)
+	}
+	if len(Drain(set.Sources[1])) != 2 {
+		t.Fatal("cpu1 replay wrong")
+	}
+}
+
+func TestCompactCompression(t *testing.T) {
+	var c Compact
+	addr := uint32(0x1000)
+	for i := 0; i < 10000; i++ {
+		c.Add(ReadAfter(3, addr))
+		addr += 4
+	}
+	if got := c.Bytes(); got > 4*c.Len() {
+		t.Errorf("compact trace uses %d bytes for %d events", got, c.Len())
+	}
+}
+
+// Property: Compact replay equals the original stream for arbitrary events.
+func TestCompactRoundTripProperty(t *testing.T) {
+	check := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := randomEvents(rng, int(n%1000))
+		var c Compact
+		for _, ev := range events {
+			c.Add(ev)
+		}
+		got := Drain(c.NewSource())
+		if len(got) != len(events) {
+			return false
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package trace defines the memory-reference trace model consumed by the
+// multiprocessor simulator, together with codecs for storing traces on disk
+// and an analyser that computes the "ideal" statistics of a trace (the
+// paper's Tables 1 and 2): the behaviour of the program assuming no cache
+// misses, no bus contention and no lock contention.
+//
+// The model follows the MPTrace methodology of Eggers et al. used by the
+// paper: each processor has its own stream of events carrying the number of
+// execution cycles per instruction group (assuming no wait states) and every
+// memory reference made. Lock spinning is never part of a trace; only the
+// lock and unlock operations themselves appear, and the simulator decides
+// dynamically how long each acquisition takes.
+package trace
+
+import "fmt"
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+const (
+	// KindExec represents N cycles of pure execution during which the
+	// processor does not stall (the "ideal" cycle count of the traced
+	// instructions, as produced by MPTrace post-processing).
+	KindExec Kind = iota
+	// KindIFetch is an instruction-fetch reference to Addr.
+	KindIFetch
+	// KindRead is a data load from Addr.
+	KindRead
+	// KindWrite is a data store to Addr.
+	KindWrite
+	// KindLock acquires the lock identified by Arg whose lock variable
+	// lives at Addr. The simulator stalls the processor until the lock is
+	// granted; the trace never contains spin references.
+	KindLock
+	// KindUnlock releases the lock identified by Arg at Addr.
+	KindUnlock
+	// KindBarrier joins a global barrier identified by Arg. All processors
+	// whose traces contain the barrier must reach it before any proceeds.
+	KindBarrier
+	// KindEnd marks the end of a processor's trace. It is optional: a
+	// Source running out of events is equivalent.
+	KindEnd
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"exec", "ifetch", "read", "write", "lock", "unlock", "barrier", "end",
+}
+
+// String returns the lower-case mnemonic used by the text codec.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined event kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// IsRef reports whether the event kind is a memory reference (instruction
+// fetch or data access). Lock operations also touch memory but are accounted
+// separately, as in the paper.
+func (k Kind) IsRef() bool { return k == KindIFetch || k == KindRead || k == KindWrite }
+
+// IsData reports whether the event kind is a data reference.
+func (k Kind) IsData() bool { return k == KindRead || k == KindWrite }
+
+// IsSync reports whether the event kind is a synchronisation operation.
+func (k Kind) IsSync() bool { return k == KindLock || k == KindUnlock || k == KindBarrier }
+
+// Event is a single entry in a per-processor trace.
+//
+// The meaning of the fields depends on Kind:
+//
+//	Exec:              Arg = number of execution cycles (≥ 1)
+//	IFetch/Read/Write: Addr = byte address of the reference; Arg = number
+//	                   of execution cycles spent *before* the reference
+//	                   (usually the preceding instructions' cycles; lets
+//	                   generators fuse an Exec with each reference and
+//	                   halves the event count of large traces)
+//	Lock/Unlock:       Arg = lock identifier, Addr = address of the lock word
+//	Barrier:           Arg = barrier identifier
+//	End:               no fields
+type Event struct {
+	Addr uint32
+	Arg  uint32
+	Kind Kind
+}
+
+// Exec returns an execution event of n cycles.
+func Exec(n uint32) Event { return Event{Kind: KindExec, Arg: n} }
+
+// IFetch returns an instruction-fetch reference event.
+func IFetch(addr uint32) Event { return Event{Kind: KindIFetch, Addr: addr} }
+
+// Read returns a data-load reference event.
+func Read(addr uint32) Event { return Event{Kind: KindRead, Addr: addr} }
+
+// Write returns a data-store reference event.
+func Write(addr uint32) Event { return Event{Kind: KindWrite, Addr: addr} }
+
+// IFetchAfter returns an instruction fetch preceded by pre execution cycles.
+func IFetchAfter(pre, addr uint32) Event { return Event{Kind: KindIFetch, Addr: addr, Arg: pre} }
+
+// ReadAfter returns a data load preceded by pre execution cycles.
+func ReadAfter(pre, addr uint32) Event { return Event{Kind: KindRead, Addr: addr, Arg: pre} }
+
+// WriteAfter returns a data store preceded by pre execution cycles.
+func WriteAfter(pre, addr uint32) Event { return Event{Kind: KindWrite, Addr: addr, Arg: pre} }
+
+// Lock returns a lock-acquire event for lock id at address addr.
+func Lock(id, addr uint32) Event { return Event{Kind: KindLock, Arg: id, Addr: addr} }
+
+// Unlock returns a lock-release event for lock id at address addr.
+func Unlock(id, addr uint32) Event { return Event{Kind: KindUnlock, Arg: id, Addr: addr} }
+
+// Barrier returns a barrier-join event for barrier id.
+func Barrier(id uint32) Event { return Event{Kind: KindBarrier, Arg: id} }
+
+// End returns the end-of-trace marker.
+func End() Event { return Event{Kind: KindEnd} }
+
+// String renders the event in the text-codec syntax.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindExec:
+		return fmt.Sprintf("exec %d", e.Arg)
+	case KindIFetch, KindRead, KindWrite:
+		if e.Arg > 0 {
+			return fmt.Sprintf("%s 0x%x %d", e.Kind, e.Addr, e.Arg)
+		}
+		return fmt.Sprintf("%s 0x%x", e.Kind, e.Addr)
+	case KindLock, KindUnlock:
+		return fmt.Sprintf("%s %d 0x%x", e.Kind, e.Arg, e.Addr)
+	case KindBarrier:
+		return fmt.Sprintf("barrier %d", e.Arg)
+	case KindEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind(%d) addr=0x%x arg=%d", uint8(e.Kind), e.Addr, e.Arg)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{KindExec, "exec"},
+		{KindIFetch, "ifetch"},
+		{KindRead, "read"},
+		{KindWrite, "write"},
+		{KindLock, "lock"},
+		{KindUnlock, "unlock"},
+		{KindBarrier, "barrier"},
+		{KindEnd, "end"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.kind, got, c.want)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("invalid kind String() = %q, want to mention 200", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("Kind(%d).Valid() = false, want true", k)
+		}
+	}
+	for _, k := range []Kind{numKinds, 100, 255} {
+		if k.Valid() {
+			t.Errorf("Kind(%d).Valid() = true, want false", k)
+		}
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	refs := map[Kind]bool{KindIFetch: true, KindRead: true, KindWrite: true}
+	data := map[Kind]bool{KindRead: true, KindWrite: true}
+	sync := map[Kind]bool{KindLock: true, KindUnlock: true, KindBarrier: true}
+	for k := Kind(0); k < numKinds; k++ {
+		if got := k.IsRef(); got != refs[k] {
+			t.Errorf("Kind %v IsRef = %v, want %v", k, got, refs[k])
+		}
+		if got := k.IsData(); got != data[k] {
+			t.Errorf("Kind %v IsData = %v, want %v", k, got, data[k])
+		}
+		if got := k.IsSync(); got != sync[k] {
+			t.Errorf("Kind %v IsSync = %v, want %v", k, got, sync[k])
+		}
+	}
+}
+
+func TestEventConstructors(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want Event
+	}{
+		{Exec(7), Event{Kind: KindExec, Arg: 7}},
+		{IFetch(0x100), Event{Kind: KindIFetch, Addr: 0x100}},
+		{Read(0x200), Event{Kind: KindRead, Addr: 0x200}},
+		{Write(0x300), Event{Kind: KindWrite, Addr: 0x300}},
+		{Lock(3, 0x400), Event{Kind: KindLock, Arg: 3, Addr: 0x400}},
+		{Unlock(3, 0x400), Event{Kind: KindUnlock, Arg: 3, Addr: 0x400}},
+		{Barrier(9), Event{Kind: KindBarrier, Arg: 9}},
+		{End(), Event{Kind: KindEnd}},
+	}
+	for _, c := range cases {
+		if c.ev != c.want {
+			t.Errorf("constructor produced %+v, want %+v", c.ev, c.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Exec(12), "exec 12"},
+		{IFetch(0x1000), "ifetch 0x1000"},
+		{Read(0xdead), "read 0xdead"},
+		{Write(16), "write 0x10"},
+		{Lock(2, 0x40), "lock 2 0x40"},
+		{Unlock(2, 0x40), "unlock 2 0x40"},
+		{Barrier(1), "barrier 1"},
+		{End(), "end"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.ev, got, c.want)
+		}
+	}
+}

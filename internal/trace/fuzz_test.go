@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the binary container parser: arbitrary bytes must
+// produce an error or a valid trace, never a panic or runaway allocation.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, "fuzz", [][]Event{sampleEvents(), {Barrier(1), End()}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("SSTR"))
+	f.Add([]byte("SSTR\x01\x00\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, cpus, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode cleanly.
+		var buf bytes.Buffer
+		if err := Encode(&buf, name, cpus); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		name2, cpus2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if name2 != name || len(cpus2) != len(cpus) {
+			t.Fatalf("round trip changed shape: %q/%d vs %q/%d",
+				name, len(cpus), name2, len(cpus2))
+		}
+	})
+}
+
+// FuzzReadText hardens the text parser the same way.
+func FuzzReadText(f *testing.F) {
+	f.Add("trace t 1\ncpu 0\nexec 5\nread 0x10\n")
+	f.Add("trace t 2\ncpu 1\nlock 1 0x40\nunlock 1 0x40\n")
+	f.Add("# comment only\n")
+	f.Add("cpu 0\n")
+	f.Add("trace x 1\ncpu 0\nread zzz\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		name, cpus, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// A parsed trace must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, name, cpus); err != nil {
+			t.Fatalf("parsed trace failed to write: %v", err)
+		}
+		if _, _, err := ReadText(&buf); err != nil {
+			t.Fatalf("written trace failed to re-parse: %v", err)
+		}
+	})
+}

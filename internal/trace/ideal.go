@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SharedFunc classifies a data address as shared (visible to more than one
+// processor) or private. The workload address-space layout provides the
+// concrete classifier; the analyser itself is layout-agnostic.
+type SharedFunc func(addr uint32) bool
+
+// CPUIdealStats holds the "ideal" statistics of a single processor's trace:
+// what the processor would do given no cache misses and no lock contention.
+// This is the per-row data behind the paper's Tables 1 and 2.
+type CPUIdealStats struct {
+	// Table 1 quantities.
+	WorkCycles uint64 // cycles to execute the trace with no wait states
+	Refs       uint64 // all memory references (instruction + data)
+	DataRefs   uint64 // data references only
+	SharedRefs uint64 // data references classified as shared
+
+	// Table 2 quantities.
+	LockPairs   uint64 // lock/unlock pairs executed
+	NestedLocks uint64 // lock acquired while another lock was already held
+	HeldCycles  uint64 // Σ per-acquisition ideal hold times
+	LockedMode  uint64 // cycles during which ≥1 lock was held (no double count)
+
+	// Auxiliary quantities used by validation and calibration.
+	Barriers  uint64
+	MaxNest   int
+	LockAddrs map[uint32]uint64 // acquisitions per lock word
+}
+
+// AvgHeld returns the mean ideal hold time per acquisition, in cycles.
+func (s *CPUIdealStats) AvgHeld() float64 {
+	if s.LockPairs == 0 {
+		return 0
+	}
+	return float64(s.HeldCycles) / float64(s.LockPairs)
+}
+
+// PercentLocked returns the percentage of ideal execution time during which
+// at least one lock was held.
+func (s *CPUIdealStats) PercentLocked() float64 {
+	if s.WorkCycles == 0 {
+		return 0
+	}
+	return 100 * float64(s.LockedMode) / float64(s.WorkCycles)
+}
+
+// IdealStats aggregates per-CPU ideal statistics for a whole program trace.
+type IdealStats struct {
+	Name string
+	CPUs []CPUIdealStats
+}
+
+// AnalyzeIdeal computes the ideal statistics of a trace set, draining every
+// source. shared may be nil, in which case no reference is counted as
+// shared.
+func AnalyzeIdeal(set *Set, shared SharedFunc) *IdealStats {
+	stats := &IdealStats{Name: set.Name, CPUs: make([]CPUIdealStats, set.NCPU())}
+	for i, src := range set.Sources {
+		stats.CPUs[i] = analyzeCPU(src, shared)
+	}
+	return stats
+}
+
+type heldLock struct {
+	id    uint32
+	start uint64
+}
+
+func analyzeCPU(src Source, shared SharedFunc) CPUIdealStats {
+	var s CPUIdealStats
+	s.LockAddrs = make(map[uint32]uint64)
+	var clock uint64
+	var held []heldLock
+	var lockedSince uint64
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case KindExec:
+			clock += uint64(ev.Arg)
+		case KindIFetch:
+			clock += uint64(ev.Arg)
+			s.Refs++
+		case KindRead, KindWrite:
+			clock += uint64(ev.Arg)
+			s.Refs++
+			s.DataRefs++
+			if shared != nil && shared(ev.Addr) {
+				s.SharedRefs++
+			}
+		case KindLock:
+			if len(held) > 0 {
+				s.NestedLocks++
+			} else {
+				lockedSince = clock
+			}
+			held = append(held, heldLock{id: ev.Arg, start: clock})
+			if len(held) > s.MaxNest {
+				s.MaxNest = len(held)
+			}
+			s.LockAddrs[ev.Addr]++
+		case KindUnlock:
+			// Match the most recent acquisition of this lock id;
+			// well-formed traces release in LIFO order but the
+			// analyser tolerates out-of-order releases.
+			idx := -1
+			for j := len(held) - 1; j >= 0; j-- {
+				if held[j].id == ev.Arg {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				continue // unmatched unlock; Validate reports these
+			}
+			s.LockPairs++
+			s.HeldCycles += clock - held[idx].start
+			held = append(held[:idx], held[idx+1:]...)
+			if len(held) == 0 {
+				s.LockedMode += clock - lockedSince
+			}
+		case KindBarrier:
+			s.Barriers++
+		case KindEnd:
+		}
+	}
+	s.WorkCycles = clock
+	if len(held) > 0 {
+		// Locks still held at end of trace count as held to the end.
+		s.LockedMode += clock - lockedSince
+		for _, h := range held {
+			s.LockPairs++
+			s.HeldCycles += clock - h.start
+		}
+	}
+	return s
+}
+
+// Summary is the per-program average row as printed in the paper's tables:
+// all quantities are per-processor means.
+type Summary struct {
+	Name       string
+	NCPU       int
+	WorkCycles float64
+	Refs       float64
+	DataRefs   float64
+	SharedRefs float64
+
+	LockPairs   float64
+	NestedLocks float64
+	AvgHeld     float64 // cycles per acquisition
+	TotalHeld   float64 // cycles in locked mode, per CPU
+	PctTime     float64 // TotalHeld / WorkCycles × 100
+
+	Locks int // distinct lock words observed
+}
+
+// Summarize reduces per-CPU statistics to the per-processor averages used
+// in the paper's tables.
+func (s *IdealStats) Summarize() Summary {
+	sum := Summary{Name: s.Name, NCPU: len(s.CPUs)}
+	if sum.NCPU == 0 {
+		return sum
+	}
+	lockWords := map[uint32]bool{}
+	var pairs, heldCycles uint64
+	for _, c := range s.CPUs {
+		sum.WorkCycles += float64(c.WorkCycles)
+		sum.Refs += float64(c.Refs)
+		sum.DataRefs += float64(c.DataRefs)
+		sum.SharedRefs += float64(c.SharedRefs)
+		sum.LockPairs += float64(c.LockPairs)
+		sum.NestedLocks += float64(c.NestedLocks)
+		sum.TotalHeld += float64(c.LockedMode)
+		pairs += c.LockPairs
+		heldCycles += c.HeldCycles
+		for a := range c.LockAddrs {
+			lockWords[a] = true
+		}
+	}
+	n := float64(sum.NCPU)
+	sum.WorkCycles /= n
+	sum.Refs /= n
+	sum.DataRefs /= n
+	sum.SharedRefs /= n
+	sum.LockPairs /= n
+	sum.NestedLocks /= n
+	sum.TotalHeld /= n
+	if pairs > 0 {
+		sum.AvgHeld = float64(heldCycles) / float64(pairs)
+	}
+	if sum.WorkCycles > 0 {
+		sum.PctTime = 100 * sum.TotalHeld / sum.WorkCycles
+	}
+	sum.Locks = len(lockWords)
+	return sum
+}
+
+// HotLocks returns the lock words with the most acquisitions across all
+// CPUs, most acquired first, capped at max entries (0 means all).
+func (s *IdealStats) HotLocks(max int) []LockCount {
+	total := map[uint32]uint64{}
+	for _, c := range s.CPUs {
+		for addr, n := range c.LockAddrs {
+			total[addr] += n
+		}
+	}
+	out := make([]LockCount, 0, len(total))
+	for addr, n := range total {
+		out = append(out, LockCount{Addr: addr, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// LockCount pairs a lock word address with its total acquisition count.
+type LockCount struct {
+	Addr  uint32
+	Count uint64
+}
+
+func (lc LockCount) String() string {
+	return fmt.Sprintf("lock@0x%x ×%d", lc.Addr, lc.Count)
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestIdealStatsBasicCounts(t *testing.T) {
+	events := []Event{
+		Exec(10),
+		IFetch(0x100), Read(0x8000), Write(0x9000),
+		Exec(5),
+		Read(0x100000), // private under the classifier below
+	}
+	shared := func(addr uint32) bool { return addr < 0x10000 }
+	set := BufferSet("t", [][]Event{events})
+	s := AnalyzeIdeal(set, shared).CPUs[0]
+	if s.WorkCycles != 15 {
+		t.Errorf("WorkCycles = %d, want 15", s.WorkCycles)
+	}
+	if s.Refs != 4 {
+		t.Errorf("Refs = %d, want 4", s.Refs)
+	}
+	if s.DataRefs != 3 {
+		t.Errorf("DataRefs = %d, want 3", s.DataRefs)
+	}
+	if s.SharedRefs != 2 {
+		t.Errorf("SharedRefs = %d, want 2", s.SharedRefs)
+	}
+}
+
+func TestIdealStatsNilClassifier(t *testing.T) {
+	set := BufferSet("t", [][]Event{{Read(1), Write(2)}})
+	s := AnalyzeIdeal(set, nil).CPUs[0]
+	if s.SharedRefs != 0 {
+		t.Errorf("SharedRefs = %d, want 0 with nil classifier", s.SharedRefs)
+	}
+}
+
+func TestIdealLockAccounting(t *testing.T) {
+	// One plain pair held 100 cycles, then a nested pair:
+	// outer held 50, inner held 20 inside it.
+	events := []Event{
+		Lock(0, 0x40), Exec(100), Unlock(0, 0x40),
+		Exec(10),
+		Lock(0, 0x40), Exec(15), Lock(1, 0x80), Exec(20), Unlock(1, 0x80), Exec(15), Unlock(0, 0x40),
+	}
+	s := AnalyzeIdeal(BufferSet("t", [][]Event{events}), nil).CPUs[0]
+	if s.LockPairs != 3 {
+		t.Errorf("LockPairs = %d, want 3", s.LockPairs)
+	}
+	if s.NestedLocks != 1 {
+		t.Errorf("NestedLocks = %d, want 1", s.NestedLocks)
+	}
+	if s.HeldCycles != 100+50+20 {
+		t.Errorf("HeldCycles = %d, want 170", s.HeldCycles)
+	}
+	// Locked-mode time must not double-count the nested interval.
+	if s.LockedMode != 100+50 {
+		t.Errorf("LockedMode = %d, want 150", s.LockedMode)
+	}
+	if s.MaxNest != 2 {
+		t.Errorf("MaxNest = %d, want 2", s.MaxNest)
+	}
+	if got := s.AvgHeld(); !approx(got, 170.0/3, 1e-9) {
+		t.Errorf("AvgHeld = %v, want %v", got, 170.0/3)
+	}
+	if got := s.PercentLocked(); !approx(got, 100*150.0/160, 1e-9) {
+		t.Errorf("PercentLocked = %v", got)
+	}
+}
+
+func TestIdealUnmatchedUnlockIgnored(t *testing.T) {
+	events := []Event{Exec(10), Unlock(0, 0x40), Exec(5)}
+	s := AnalyzeIdeal(BufferSet("t", [][]Event{events}), nil).CPUs[0]
+	if s.LockPairs != 0 || s.HeldCycles != 0 {
+		t.Errorf("unmatched unlock counted: pairs=%d held=%d", s.LockPairs, s.HeldCycles)
+	}
+}
+
+func TestIdealLockHeldAtEnd(t *testing.T) {
+	events := []Event{Lock(0, 0x40), Exec(30)}
+	s := AnalyzeIdeal(BufferSet("t", [][]Event{events}), nil).CPUs[0]
+	if s.LockPairs != 1 || s.HeldCycles != 30 || s.LockedMode != 30 {
+		t.Errorf("end-of-trace lock: pairs=%d held=%d locked=%d, want 1/30/30",
+			s.LockPairs, s.HeldCycles, s.LockedMode)
+	}
+}
+
+func TestIdealOutOfOrderRelease(t *testing.T) {
+	// Release outer before inner; the analyser should match by lock id.
+	events := []Event{
+		Lock(0, 0x40), Exec(10), Lock(1, 0x80), Exec(10),
+		Unlock(0, 0x40), Exec(10), Unlock(1, 0x80),
+	}
+	s := AnalyzeIdeal(BufferSet("t", [][]Event{events}), nil).CPUs[0]
+	if s.LockPairs != 2 {
+		t.Fatalf("LockPairs = %d, want 2", s.LockPairs)
+	}
+	if s.HeldCycles != 20+20 {
+		t.Errorf("HeldCycles = %d, want 40", s.HeldCycles)
+	}
+	if s.LockedMode != 30 {
+		t.Errorf("LockedMode = %d, want 30", s.LockedMode)
+	}
+}
+
+func TestIdealBarrierCount(t *testing.T) {
+	s := AnalyzeIdeal(BufferSet("t", [][]Event{{Barrier(0), Exec(1), Barrier(0)}}), nil).CPUs[0]
+	if s.Barriers != 2 {
+		t.Errorf("Barriers = %d, want 2", s.Barriers)
+	}
+}
+
+func TestSummarizeAverages(t *testing.T) {
+	cpu0 := []Event{Exec(100), Read(0x10), Lock(0, 0x40), Exec(20), Unlock(0, 0x40)}
+	cpu1 := []Event{Exec(200), Read(0x10), Read(0x20), Lock(0, 0x40), Exec(40), Unlock(0, 0x40)}
+	shared := func(addr uint32) bool { return true }
+	sum := AnalyzeIdeal(BufferSet("p", [][]Event{cpu0, cpu1}), shared).Summarize()
+	if sum.NCPU != 2 {
+		t.Fatalf("NCPU = %d", sum.NCPU)
+	}
+	if !approx(sum.WorkCycles, (120+240)/2.0, 1e-9) {
+		t.Errorf("WorkCycles = %v", sum.WorkCycles)
+	}
+	if !approx(sum.DataRefs, 1.5, 1e-9) {
+		t.Errorf("DataRefs = %v", sum.DataRefs)
+	}
+	if !approx(sum.SharedRefs, 1.5, 1e-9) {
+		t.Errorf("SharedRefs = %v", sum.SharedRefs)
+	}
+	if !approx(sum.LockPairs, 1, 1e-9) {
+		t.Errorf("LockPairs = %v", sum.LockPairs)
+	}
+	if !approx(sum.AvgHeld, 30, 1e-9) {
+		t.Errorf("AvgHeld = %v, want 30", sum.AvgHeld)
+	}
+	if !approx(sum.TotalHeld, 30, 1e-9) {
+		t.Errorf("TotalHeld = %v, want 30", sum.TotalHeld)
+	}
+	if sum.Locks != 1 {
+		t.Errorf("Locks = %d, want 1", sum.Locks)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	sum := AnalyzeIdeal(BufferSet("empty", nil), nil).Summarize()
+	if sum.NCPU != 0 || sum.WorkCycles != 0 || sum.PctTime != 0 {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestHotLocks(t *testing.T) {
+	cpu0 := []Event{
+		Lock(0, 0x40), Unlock(0, 0x40),
+		Lock(0, 0x40), Unlock(0, 0x40),
+		Lock(1, 0x80), Unlock(1, 0x80),
+	}
+	cpu1 := []Event{Lock(1, 0x80), Unlock(1, 0x80), Lock(0, 0x40), Unlock(0, 0x40)}
+	stats := AnalyzeIdeal(BufferSet("p", [][]Event{cpu0, cpu1}), nil)
+	hot := stats.HotLocks(0)
+	if len(hot) != 2 {
+		t.Fatalf("HotLocks = %v", hot)
+	}
+	if hot[0].Addr != 0x40 || hot[0].Count != 3 {
+		t.Errorf("hottest = %v, want lock@0x40 ×3", hot[0])
+	}
+	if hot[1].Addr != 0x80 || hot[1].Count != 2 {
+		t.Errorf("second = %v, want lock@0x80 ×2", hot[1])
+	}
+	if got := stats.HotLocks(1); len(got) != 1 {
+		t.Errorf("HotLocks(1) returned %d entries", len(got))
+	}
+}

@@ -1,0 +1,178 @@
+package trace
+
+import "fmt"
+
+// Source is a stream of trace events for one processor. Implementations may
+// materialise the whole trace in memory (Buffer) or generate events lazily
+// (workload kernels generate multi-million-event traces on the fly without
+// ever holding them in memory).
+type Source interface {
+	// Next returns the next event. ok is false when the trace is
+	// exhausted; after that, Next must keep returning ok == false.
+	Next() (ev Event, ok bool)
+}
+
+// Buffer is an in-memory trace that can be replayed from the start any
+// number of times. The zero value is an empty trace.
+type Buffer struct {
+	Events []Event
+	pos    int
+}
+
+// NewBuffer returns a Buffer over the given events. The slice is used
+// directly, not copied.
+func NewBuffer(events []Event) *Buffer { return &Buffer{Events: events} }
+
+// Append adds events to the end of the buffer.
+func (b *Buffer) Append(events ...Event) { b.Events = append(b.Events, events...) }
+
+// Next implements Source.
+func (b *Buffer) Next() (Event, bool) {
+	if b.pos >= len(b.Events) {
+		return Event{}, false
+	}
+	ev := b.Events[b.pos]
+	b.pos++
+	if ev.Kind == KindEnd {
+		b.pos = len(b.Events)
+		return Event{}, false
+	}
+	return ev, true
+}
+
+// Rewind resets the buffer to the beginning of the trace.
+func (b *Buffer) Rewind() { b.pos = 0 }
+
+// Len returns the total number of events in the buffer.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Func adapts a function to the Source interface.
+type Func func() (Event, bool)
+
+// Next implements Source.
+func (f Func) Next() (Event, bool) { return f() }
+
+// Concat returns a Source that yields all events of each source in turn.
+func Concat(sources ...Source) Source {
+	return &concat{sources: sources}
+}
+
+type concat struct {
+	sources []Source
+	i       int
+}
+
+func (c *concat) Next() (Event, bool) {
+	for c.i < len(c.sources) {
+		if ev, ok := c.sources[c.i].Next(); ok {
+			return ev, true
+		}
+		c.i++
+	}
+	return Event{}, false
+}
+
+// Drain reads every remaining event from src into a slice. It is intended
+// for tests and tools; production simulation consumes sources lazily.
+func Drain(src Source) []Event {
+	var events []Event
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			return events
+		}
+		events = append(events, ev)
+	}
+}
+
+// Set is a complete multi-processor trace: one Source per processor plus a
+// human-readable name (typically the benchmark name).
+type Set struct {
+	Name    string
+	Sources []Source
+}
+
+// NCPU returns the number of processors in the set.
+func (s *Set) NCPU() int { return len(s.Sources) }
+
+// BufferSet materialises per-CPU event slices into a Set of Buffers.
+func BufferSet(name string, cpus [][]Event) *Set {
+	set := &Set{Name: name, Sources: make([]Source, len(cpus))}
+	for i, evs := range cpus {
+		set.Sources[i] = NewBuffer(evs)
+	}
+	return set
+}
+
+// Rewinder is implemented by replayable sources (Buffer, CompactSource).
+type Rewinder interface {
+	Rewind()
+}
+
+// Cloner is implemented by sources that can produce an independent cursor
+// over the same underlying trace, so several simulations can replay one
+// generated trace concurrently.
+type Cloner interface {
+	CloneSource() Source
+}
+
+// CloneSource returns an independent replay cursor over the same events.
+func (b *Buffer) CloneSource() Source { return NewBuffer(b.Events) }
+
+// Clone builds an independent cursor set over the same underlying traces.
+// The underlying data is shared read-only; each clone replays from the
+// start. It fails if any source is not cloneable.
+func Clone(set *Set) (*Set, error) {
+	out := &Set{Name: set.Name, Sources: make([]Source, len(set.Sources))}
+	for i, src := range set.Sources {
+		c, ok := src.(Cloner)
+		if !ok {
+			return nil, fmt.Errorf("trace: source %d of %q is not cloneable", i, set.Name)
+		}
+		out.Sources[i] = c.CloneSource()
+	}
+	return out, nil
+}
+
+// Reset rewinds every source of a set to the beginning, so one generated
+// trace can be analysed and then simulated under several machine
+// configurations. It fails if any source is not replayable.
+func Reset(set *Set) error {
+	for i, src := range set.Sources {
+		r, ok := src.(Rewinder)
+		if !ok {
+			return fmt.Errorf("trace: source %d of %q is not replayable", i, set.Name)
+		}
+		r.Rewind()
+	}
+	return nil
+}
+
+// Tee wraps a Source and appends every event it yields to a Buffer, so a
+// lazily generated trace can be captured while it is consumed.
+type Tee struct {
+	Src Source
+	Buf *Buffer
+}
+
+// Next implements Source.
+func (t *Tee) Next() (Event, bool) {
+	ev, ok := t.Src.Next()
+	if ok {
+		t.Buf.Append(ev)
+	}
+	return ev, ok
+}
+
+// Limit wraps a Source and cuts the stream after n events. It is useful for
+// failure-injection tests that simulate truncated traces.
+func Limit(src Source, n int) Source {
+	remaining := n
+	return Func(func() (Event, bool) {
+		if remaining <= 0 {
+			return Event{}, false
+		}
+		remaining--
+		return src.Next()
+	})
+}

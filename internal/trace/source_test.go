@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		Exec(3), IFetch(0x1000), Read(0x2000),
+		Lock(0, 0x9000), Exec(5), Write(0x2004), Unlock(0, 0x9000),
+		Exec(1),
+	}
+}
+
+func TestBufferYieldsAllEvents(t *testing.T) {
+	evs := sampleEvents()
+	b := NewBuffer(evs)
+	got := Drain(b)
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("Drain = %v, want %v", got, evs)
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("Next after exhaustion returned ok = true")
+	}
+}
+
+func TestBufferRewind(t *testing.T) {
+	b := NewBuffer(sampleEvents())
+	first := Drain(b)
+	b.Rewind()
+	second := Drain(b)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay after Rewind differs: %v vs %v", first, second)
+	}
+}
+
+func TestBufferStopsAtEndMarker(t *testing.T) {
+	b := NewBuffer([]Event{Exec(1), End(), Exec(2)})
+	got := Drain(b)
+	want := []Event{Exec(1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Drain = %v, want %v (events after end marker must not leak)", got, want)
+	}
+}
+
+func TestBufferAppend(t *testing.T) {
+	var b Buffer
+	b.Append(Exec(1))
+	b.Append(Read(4), Write(8))
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := Func(func() (Event, bool) {
+		if n >= 3 {
+			return Event{}, false
+		}
+		n++
+		return Exec(uint32(n)), true
+	})
+	got := Drain(src)
+	want := []Event{Exec(1), Exec(2), Exec(3)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Drain = %v, want %v", got, want)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewBuffer([]Event{Exec(1), Exec(2)})
+	b := NewBuffer(nil)
+	c := NewBuffer([]Event{Read(0x10)})
+	got := Drain(Concat(a, b, c))
+	want := []Event{Exec(1), Exec(2), Read(0x10)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Concat drain = %v, want %v", got, want)
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	if got := Drain(Concat()); len(got) != 0 {
+		t.Fatalf("empty Concat yielded %v", got)
+	}
+}
+
+func TestBufferSet(t *testing.T) {
+	set := BufferSet("prog", [][]Event{{Exec(1)}, {Exec(2), Exec(3)}})
+	if set.Name != "prog" {
+		t.Errorf("Name = %q, want prog", set.Name)
+	}
+	if set.NCPU() != 2 {
+		t.Fatalf("NCPU = %d, want 2", set.NCPU())
+	}
+	if got := Drain(set.Sources[1]); len(got) != 2 {
+		t.Fatalf("cpu 1 has %d events, want 2", len(got))
+	}
+}
+
+func TestTeeCapturesStream(t *testing.T) {
+	evs := sampleEvents()
+	var captured Buffer
+	tee := &Tee{Src: NewBuffer(evs), Buf: &captured}
+	Drain(tee)
+	if !reflect.DeepEqual(captured.Events, evs) {
+		t.Fatalf("Tee captured %v, want %v", captured.Events, evs)
+	}
+}
+
+func TestLimitTruncates(t *testing.T) {
+	evs := sampleEvents()
+	got := Drain(Limit(NewBuffer(evs), 4))
+	if !reflect.DeepEqual(got, evs[:4]) {
+		t.Fatalf("Limit drain = %v, want %v", got, evs[:4])
+	}
+	if got := Drain(Limit(NewBuffer(evs), 0)); len(got) != 0 {
+		t.Fatalf("Limit(0) yielded %v", got)
+	}
+	if got := Drain(Limit(NewBuffer(evs), 100)); len(got) != len(evs) {
+		t.Fatalf("Limit larger than stream yielded %d events, want %d", len(got), len(evs))
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	cpus := [][]Event{sampleEvents(), {Barrier(2), End()}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, "prog", cpus); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "prog" || len(got) != 2 {
+		t.Fatalf("name=%q ncpu=%d", name, len(got))
+	}
+	if !reflect.DeepEqual(got[0], cpus[0]) {
+		t.Fatalf("cpu0 = %v, want %v", got[0], cpus[0])
+	}
+	if !reflect.DeepEqual(got[1], cpus[1]) {
+		t.Fatalf("cpu1 = %v, want %v", got[1], cpus[1])
+	}
+}
+
+func TestTextParsesHandWritten(t *testing.T) {
+	input := `
+# hand-written fixture
+trace tiny 2
+cpu 0
+exec 10
+read 0x100
+lock 1 0x9000
+exec 5
+unlock 1 0x9000
+cpu 1
+exec 20
+write 256
+end
+`
+	name, cpus, err := ReadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "tiny" {
+		t.Errorf("name = %q", name)
+	}
+	want0 := []Event{Exec(10), Read(0x100), Lock(1, 0x9000), Exec(5), Unlock(1, 0x9000)}
+	if !reflect.DeepEqual(cpus[0], want0) {
+		t.Errorf("cpu0 = %v, want %v", cpus[0], want0)
+	}
+	want1 := []Event{Exec(20), Write(256), End()}
+	if !reflect.DeepEqual(cpus[1], want1) {
+		t.Errorf("cpu1 = %v, want %v", cpus[1], want1)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"event before cpu", "trace x 1\nexec 5\n"},
+		{"cpu out of range", "trace x 1\ncpu 5\n"},
+		{"bad exec", "trace x 1\ncpu 0\nexec banana\n"},
+		{"bad addr", "trace x 1\ncpu 0\nread banana\n"},
+		{"short lock", "trace x 1\ncpu 0\nlock 1\n"},
+		{"unknown event", "trace x 1\ncpu 0\nfrobnicate 1\n"},
+		{"bad trace header", "trace x\n"},
+		{"bad barrier", "trace x 1\ncpu 0\nbarrier\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := ReadText(strings.NewReader(c.input)); err == nil {
+				t.Fatalf("ReadText accepted %q", c.input)
+			}
+		})
+	}
+}
+
+func TestWriteTextSanitizesName(t *testing.T) {
+	cases := map[string]string{
+		"":          "unnamed",
+		"my prog":   "my_prog",
+		"a\tb\nc":   "a_b_c",
+		"Qsort":     "Qsort",
+		"  spaced ": "spaced",
+	}
+	for in, want := range cases {
+		var buf bytes.Buffer
+		if err := WriteText(&buf, in, nil); err != nil {
+			t.Fatal(err)
+		}
+		name, _, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("name %q: re-parse failed: %v", in, err)
+		}
+		if name != want {
+			t.Errorf("name %q round-tripped to %q, want %q", in, name, want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package addr
+
+import "testing"
+
+func TestRegionsDisjoint(t *testing.T) {
+	cases := []struct {
+		name string
+		a    uint32
+		code bool
+		priv bool
+		shrd bool
+		lock bool
+	}{
+		{"code base", CodeBase, true, false, false, false},
+		{"function window", Func(10) + 100, true, false, false, false},
+		{"priv cpu0", Priv(0), false, true, false, false},
+		{"priv cpu15", Priv(15) + PrivWindow - 1, false, true, false, false},
+		{"shared base", SharedBase, false, false, true, false},
+		{"shared high", LockBase - 1, false, false, true, false},
+		{"lock word", Lock(0), false, false, false, true},
+		{"lock 100", Lock(100), false, false, false, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := IsCode(c.a); got != c.code {
+				t.Errorf("IsCode(%#x) = %v", c.a, got)
+			}
+			if got := IsPrivate(c.a); got != c.priv {
+				t.Errorf("IsPrivate(%#x) = %v", c.a, got)
+			}
+			if got := Shared(c.a); got != c.shrd {
+				t.Errorf("Shared(%#x) = %v", c.a, got)
+			}
+			if got := IsLock(c.a); got != c.lock {
+				t.Errorf("IsLock(%#x) = %v", c.a, got)
+			}
+		})
+	}
+}
+
+func TestPrivWindowsDistinct(t *testing.T) {
+	for cpu := 0; cpu < 20; cpu++ {
+		lo := Priv(cpu)
+		hi := lo + PrivWindow
+		if lo < PrivBase || hi > SharedBase {
+			t.Fatalf("cpu %d private window [%#x,%#x) escapes the region", cpu, lo, hi)
+		}
+		if cpu > 0 && lo != Priv(cpu-1)+PrivWindow {
+			t.Fatalf("cpu %d window not adjacent to cpu %d", cpu, cpu-1)
+		}
+	}
+}
+
+func TestLockWordsOnDistinctLines(t *testing.T) {
+	seen := map[uint32]bool{}
+	for id := uint32(0); id < 1000; id++ {
+		line := Lock(id) &^ 15 // 16-byte lines
+		if seen[line] {
+			t.Fatalf("lock %d shares a cache line with another lock", id)
+		}
+		seen[line] = true
+	}
+}
+
+func TestFuncWindows(t *testing.T) {
+	if Func(0) != CodeBase {
+		t.Errorf("Func(0) = %#x", Func(0))
+	}
+	if Func(1)-Func(0) != FuncSize {
+		t.Errorf("function windows not FuncSize apart")
+	}
+}

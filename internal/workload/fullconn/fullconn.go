@@ -1,0 +1,233 @@
+// Package fullconn re-creates the paper's FullConn benchmark: a run of a
+// Synapse (Wagner) distributed simulation of a fully-connected processor
+// network, written in Presto on 12 processors.
+//
+// The generator runs a real conservative discrete-event simulation: N
+// logical processes (the simulated network nodes), each with an input
+// message queue protected by its own lock. Processing one event is a Presto
+// thread: it dequeues a message, runs a long state-update computation (this
+// is the compute-heavy benchmark — ~4 cycles per instruction and ~29k
+// cycles per event), and posts messages to a few other nodes under their
+// queue locks. The per-node queue locks are the application locks that give
+// FullConn more non-nested lock pairs than the other Presto programs, and
+// the long critical sections its 334-cycle average hold time (Table 2).
+package fullconn
+
+import (
+	"math/rand"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+	"syncsim/internal/workload/presto"
+)
+
+const (
+	fnEvent = 3
+	fnSend  = 4
+
+	// Application lock ids start above the Presto runtime's.
+	nodeLockBase uint32 = 16
+
+	nodeBase   = addr.SharedBase + 0x40000
+	nodeStride = 2048 // per-node state block (migrates between processors)
+	msgBase    = addr.SharedBase + 0x800000
+	msgStride  = 64
+)
+
+// FullConn is the benchmark generator.
+type FullConn struct {
+	// Nodes is the number of simulated network nodes.
+	Nodes int
+	// Events is the total number of events processed at Scale 1,
+	// calibrated to ~134 dispatches per processor on 12 CPUs.
+	Events int
+	// ComputeInstr is the state-update computation per event, in
+	// instructions (FullConn events are expensive).
+	ComputeInstr int
+	// SendsPerEvent is the mean fan-out per processed event.
+	SendsPerEvent float64
+	// SpawnBatch is the enqueue batch size.
+	SpawnBatch int
+}
+
+// New returns the generator with calibrated defaults.
+func New() *FullConn {
+	return &FullConn{
+		Nodes:         64,
+		Events:        1608,
+		ComputeInstr:  6900,
+		SendsPerEvent: 1.85,
+		SpawnBatch:    4,
+	}
+}
+
+// Name implements workload.Program.
+func (*FullConn) Name() string { return "FullConn" }
+
+// DefaultNCPU implements workload.Program (Table 1: 12 processors).
+func (*FullConn) DefaultNCPU() int { return 12 }
+
+type message struct {
+	dst  int
+	time float64
+	id   int
+}
+
+type netSim struct {
+	queues    [][]message // per-node pending messages
+	lvt       []float64   // per-node local virtual time
+	processed int
+	nextMsgID int
+}
+
+func nodeLock(n int) uint32 { return nodeLockBase + uint32(n) }
+func nodeAddr(n int) uint32 { return nodeBase + uint32(n)*nodeStride }
+func msgAddr(id int) uint32 { return msgBase + uint32(id%4096)*msgStride }
+
+// Generate implements workload.Program.
+func (fc *FullConn) Generate(p workload.Params) (*trace.Set, error) {
+	p = p.WithDefaults(fc.DefaultNCPU())
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	totalEvents := workload.ScaleInt(fc.Events, p.Scale, 2*p.NCPU)
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x66636f6e))
+
+	sim := &netSim{
+		queues: make([][]message, fc.Nodes),
+		lvt:    make([]float64, fc.Nodes),
+	}
+	// Seed every node with an initial message, as the Synapse start-up
+	// broadcast does.
+	for n := 0; n < fc.Nodes; n++ {
+		sim.queues[n] = append(sim.queues[n], message{dst: n, time: rng.Float64(), id: sim.nextMsgID})
+		sim.nextMsgID++
+	}
+
+	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	for _, g := range coord.Gens {
+		g.SetCPI(3, 5) // FullConn ran at ~4 cycles per instruction
+	}
+	cfg := presto.DefaultConfig()
+	// FullConn's runtime critical sections are longer (334-cycle average
+	// holds) — the Synapse layer does more bookkeeping per dispatch.
+	cfg.DispatchPre = 20
+	cfg.DispatchQueue = 40
+	cfg.DispatchPost = 48
+	cfg.EnqueueBase = 40
+	cfg.EnqueuePerThread = 10
+	rt := presto.New(coord, cfg)
+
+	// The event-processing thread body for node n.
+	mkEvent := func(n int) presto.Body {
+		return func(g *workload.Gen) {
+			if len(sim.queues[n]) == 0 {
+				return
+			}
+			// Dequeue the earliest message under the node's queue lock.
+			earliest := 0
+			for i, m := range sim.queues[n] {
+				if m.time < sim.queues[n][earliest].time {
+					earliest = i
+				}
+			}
+			msg := sim.queues[n][earliest]
+			sim.queues[n] = append(sim.queues[n][:earliest], sim.queues[n][earliest+1:]...)
+
+			g.SetFunc(fnEvent)
+			g.Lock(nodeLock(n))
+			g.Instr(24)
+			g.Load(nodeAddr(n))         // queue head
+			g.Load(msgAddr(msg.id))     // message body
+			g.Load(msgAddr(msg.id) + 8) // timestamp
+			g.Store(nodeAddr(n))        // unlink
+			g.Store(nodeAddr(n) + 8)    // lvt update
+			g.Instr(20)
+			g.Unlock(nodeLock(n))
+
+			if msg.time > sim.lvt[n] {
+				sim.lvt[n] = msg.time
+			}
+
+			// The simulated node's state update: the long computation
+			// that makes FullConn compute-bound. It walks the node's
+			// state block and the global topology table.
+			steps := fc.ComputeInstr / 12
+			for i := 0; i < steps; i++ {
+				g.Instr(6)
+				g.Load(nodeAddr(n) + 64 + uint32(i%120)*8)
+				g.Load(nodeBase + uint32((n+i)%fc.Nodes)*nodeStride + 64 + uint32(i%32)*8)
+				g.Load(nodeAddr(n) + 1088 + uint32(i%100)*8)
+				g.Store(nodeAddr(n) + 1024 + uint32(i%96)*8)
+				g.Instr(1)
+				if i%4 == 0 {
+					g.Load(addr.Priv(g.CPU) + uint32(i%32)*4)
+				}
+			}
+
+			sim.processed++
+			if sim.processed >= totalEvents {
+				return // horizon reached: stop generating load
+			}
+
+			// Post messages to a few random peers (full connectivity:
+			// any node may talk to any other).
+			sends := int(fc.SendsPerEvent)
+			if g.Rand().Float64() < fc.SendsPerEvent-float64(sends) {
+				sends++
+			}
+			g.SetFunc(fnSend)
+			for s := 0; s < sends; s++ {
+				dst := g.Rand().Intn(fc.Nodes)
+				if dst == n {
+					dst = (dst + 1) % fc.Nodes
+				}
+				m := message{dst: dst, time: sim.lvt[n] + g.Rand().Float64()*0.1, id: sim.nextMsgID}
+				sim.nextMsgID++
+				g.Instr(10) // marshal the message
+				g.Lock(nodeLock(dst))
+				g.Instr(55)
+				g.Load(nodeAddr(dst) + 4) // queue tail
+				for w := uint32(0); w < 10; w++ {
+					g.Store(msgAddr(m.id) + w*8) // copy payload
+				}
+				g.Store(nodeAddr(dst) + 4)
+				g.Instr(30)
+				g.Unlock(nodeLock(dst))
+				sim.queues[dst] = append(sim.queues[dst], m)
+			}
+		}
+	}
+
+	// The Synapse driver loop: batch-spawn handler threads for nodes
+	// with pending messages, then let the work crew drain them. Message
+	// arrivals during processing create new pending work.
+	spawned := 0
+	cursor := 0
+	for spawned < totalEvents {
+		batch := make([]presto.Body, 0, fc.SpawnBatch)
+		for scanned := 0; scanned < fc.Nodes && len(batch) < fc.SpawnBatch; scanned++ {
+			n := cursor
+			cursor = (cursor + 1) % fc.Nodes
+			if len(sim.queues[n]) > 0 {
+				batch = append(batch, mkEvent(n))
+				if spawned+len(batch) >= totalEvents {
+					break
+				}
+			}
+		}
+		if len(batch) == 0 {
+			// Quiescent network: reseed it, as the Synapse driver's
+			// periodic stimulus does.
+			n := cursor
+			sim.queues[n] = append(sim.queues[n], message{dst: n, time: sim.lvt[n] + 1, id: sim.nextMsgID})
+			sim.nextMsgID++
+			continue
+		}
+		spawned += len(batch)
+		rt.Enqueue(coord.Next(), batch...)
+		rt.RunAll()
+	}
+	return coord.Set(fc.Name())
+}

@@ -1,0 +1,99 @@
+package fullconn
+
+import (
+	"testing"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+func TestGenerateProcessesRequestedEvents(t *testing.T) {
+	fc := New()
+	fc.Events = 100
+	set, err := fc.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := make([][]trace.Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = trace.Drain(src)
+	}
+	if err := trace.Validate(cpus); err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(trace.BufferSet("t", cpus), addr.Shared)
+	var nested uint64
+	for _, c := range stats.CPUs {
+		nested += c.NestedLocks
+	}
+	// One dispatch per handler thread; some handlers may find an empty
+	// queue, but the spawn count equals the event budget.
+	if nested != 100 {
+		t.Errorf("dispatches = %d, want 100", nested)
+	}
+}
+
+func TestNodeLocksAreDistinct(t *testing.T) {
+	fc := New()
+	fc.Events = 150
+	set, err := fc.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(set, addr.Shared)
+	nodeLocks := map[uint32]bool{}
+	for _, c := range stats.CPUs {
+		for a := range c.LockAddrs {
+			if a >= addr.Lock(nodeLockBase) {
+				nodeLocks[a] = true
+			}
+		}
+	}
+	if len(nodeLocks) < 8 {
+		t.Fatalf("only %d node locks used; sends not spreading across the network", len(nodeLocks))
+	}
+}
+
+func TestLongCriticalSections(t *testing.T) {
+	fc := New()
+	fc.Events = 80
+	set, err := fc.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+	// FullConn's holds are the longest of the Presto programs (~334).
+	if s.AvgHeld < 200 || s.AvgHeld > 500 {
+		t.Errorf("AvgHeld = %.0f, want ≈334", s.AvgHeld)
+	}
+}
+
+func TestHighCPI(t *testing.T) {
+	fc := New()
+	fc.Events = 60
+	set, err := fc.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+	cpi := s.WorkCycles / s.Refs
+	if cpi < 3.5 || cpi > 4.5 {
+		t.Errorf("CPI = %.2f, want ≈4 (the paper's FullConn trace)", cpi)
+	}
+}
+
+func TestQuiescentNetworkReseeds(t *testing.T) {
+	// With a tiny fan-out the network can drain before the event budget
+	// is met; generation must still terminate by reseeding.
+	fc := New()
+	fc.Events = 50
+	fc.SendsPerEvent = 0.1
+	set, err := fc.Generate(workload.Params{NCPU: 2, Scale: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NCPU() != 2 {
+		t.Fatal("bad set")
+	}
+}

@@ -1,0 +1,188 @@
+package grav
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+)
+
+func buildWorld(n int, seed int64) *world {
+	rng := rand.New(rand.NewSource(seed))
+	w := &world{stars: make([]star, n), nodeBase: treeBase, theta2: 1}
+	for i := range w.stars {
+		w.stars[i] = star{
+			x: rng.Float64(), y: rng.Float64(), m: 0.5 + rng.Float64(),
+			addr: starBase + uint32(i)*starStride,
+		}
+	}
+	return w
+}
+
+func countStars(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	n := 0
+	if nd.leaf != nil {
+		n++
+	}
+	for _, ch := range nd.children {
+		n += countStars(ch)
+	}
+	return n
+}
+
+func TestQuadtreeHoldsAllStars(t *testing.T) {
+	w := buildWorld(500, 3)
+	root := w.build()
+	if got := countStars(root); got != 500 {
+		t.Fatalf("tree holds %d stars, want 500", got)
+	}
+	if root.n != 500 {
+		t.Fatalf("root.n = %d, want 500", root.n)
+	}
+}
+
+func TestQuadtreeMassConservation(t *testing.T) {
+	w := buildWorld(300, 5)
+	root := w.build()
+	var want float64
+	for i := range w.stars {
+		want += w.stars[i].m
+	}
+	if math.Abs(root.mass-want) > 1e-9 {
+		t.Fatalf("root mass %f, want %f", root.mass, want)
+	}
+}
+
+func TestQuadtreeGeometry(t *testing.T) {
+	// Every leaf must lie inside its node's region.
+	w := buildWorld(400, 7)
+	root := w.build()
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if nd.leaf != nil {
+			s := nd.leaf
+			if s.x < nd.cx-nd.half-1e-9 || s.x > nd.cx+nd.half+1e-9 ||
+				s.y < nd.cy-nd.half-1e-9 || s.y > nd.cy+nd.half+1e-9 {
+				t.Fatalf("star (%f,%f) outside node region (%f±%f, %f±%f)",
+					s.x, s.y, nd.cx, nd.half, nd.cy, nd.half)
+			}
+		}
+		for _, ch := range nd.children {
+			walk(ch)
+		}
+	}
+	walk(root)
+}
+
+func TestCoincidentStarsDoNotHang(t *testing.T) {
+	w := &world{nodeBase: treeBase, theta2: 1}
+	w.stars = make([]star, 50)
+	for i := range w.stars {
+		w.stars[i] = star{x: 0.5, y: 0.5, m: 1} // all identical positions
+	}
+	root := w.build() // must terminate
+	if root.n != 50 {
+		t.Fatalf("root.n = %d, want 50", root.n)
+	}
+}
+
+func TestForceApproximatesDirectSum(t *testing.T) {
+	w := buildWorld(200, 11)
+	w.theta2 = 0.09 // θ = 0.3: tight opening angle, accurate traversal
+	root := w.build()
+	g := workload.NewGen(0, 1)
+	s := &w.stars[0]
+	ax, ay := w.force(g, root, s)
+
+	// Direct O(n²) sum with the same softening.
+	var dx2, dy2 float64
+	for i := range w.stars {
+		o := &w.stars[i]
+		dx := o.x - s.x
+		dy := o.y - s.y
+		d2 := dx*dx + dy*dy + 1e-6
+		inv := 1 / (d2 * math.Sqrt(d2))
+		dx2 += o.m * dx * inv
+		dy2 += o.m * dy * inv
+	}
+	mag := math.Hypot(dx2, dy2)
+	if math.Hypot(ax-dx2, ay-dy2) > 0.15*mag {
+		t.Fatalf("Barnes-Hut force (%f,%f) differs from direct (%f,%f) by >15%%",
+			ax, ay, dx2, dy2)
+	}
+}
+
+func TestThetaControlsVisitCount(t *testing.T) {
+	w := buildWorld(1000, 13)
+	root := w.build()
+	visits := func(theta float64) int {
+		w.theta2 = theta * theta
+		g := workload.NewGen(0, 1)
+		w.force(g, root, &w.stars[0])
+		return g.Events()
+	}
+	tight := visits(0.3)
+	loose := visits(1.5)
+	if loose >= tight {
+		t.Fatalf("θ=1.5 visited %d events, θ=0.3 visited %d; larger θ must visit fewer", loose, tight)
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	gr := New()
+	gr.Bodies = 60
+	gr.Steps = 2
+	set, err := gr.Generate(workload.Params{NCPU: 3, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := make([][]trace.Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = trace.Drain(src)
+	}
+	if err := trace.Validate(cpus); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {-0.1, 0.9}, {1.1, 0.1}, {0, 0},
+	}
+	for _, c := range cases {
+		got := wrap(c.in)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("wrap(%f) = %f, want %f", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: the quadtree holds exactly its input stars and conserves mass
+// for arbitrary positive star counts.
+func TestQuadtreeProperty(t *testing.T) {
+	check := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		w := buildWorld(n, seed)
+		root := w.build()
+		if countStars(root) != n || root.n != n {
+			return false
+		}
+		var want float64
+		for i := range w.stars {
+			want += w.stars[i].m
+		}
+		return math.Abs(root.mass-want) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package pdsa re-creates the paper's Pdsa benchmark: a Presto (C++)
+// program doing topological optimization using simulated annealing (Upton,
+// Samii & Sugiyama's integrated placement work). The traced run used 12
+// processors.
+//
+// The generator runs a real simulated-annealing placement: standard cells
+// on a grid connected by random nets; each Presto thread evaluates and
+// applies a batch of moves (swap two cells, compute the wirelength delta
+// over their nets, accept by the Metropolis criterion). Cells, nets and the
+// annealing state are shared — Presto allocates nearly everything shared —
+// which is why ~95% of Pdsa's data references hit shared data (Table 1).
+package pdsa
+
+import (
+	"math"
+	"math/rand"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+	"syncsim/internal/workload/presto"
+)
+
+const (
+	fnMove = 3
+
+	cellBase   = addr.SharedBase + 0x20000
+	cellStride = 16
+	netBase    = addr.SharedBase + 0x200000
+	netStride  = 32
+)
+
+// Pdsa is the benchmark generator.
+type Pdsa struct {
+	// Cells is the number of standard cells at Scale 1.
+	Cells int
+	// Threads is the number of annealing threads at Scale 1, calibrated
+	// to the paper's ~1467 dispatches per processor on 12 CPUs.
+	Threads int
+	// MovesPerThread is the annealing batch each thread evaluates.
+	MovesPerThread int
+	// NetsPerCell is the connectivity of the synthetic netlist.
+	NetsPerCell int
+	// SpawnBatch is the enqueue batch size.
+	SpawnBatch int
+}
+
+// New returns the generator with calibrated defaults.
+func New() *Pdsa {
+	return &Pdsa{
+		Cells:          4096,
+		Threads:        17600,
+		MovesPerThread: 5,
+		NetsPerCell:    2,
+		SpawnBatch:     8,
+	}
+}
+
+// Name implements workload.Program.
+func (*Pdsa) Name() string { return "Pdsa" }
+
+// DefaultNCPU implements workload.Program (Table 1: 12 processors).
+func (*Pdsa) DefaultNCPU() int { return 12 }
+
+type cell struct {
+	x, y int
+	nets []int
+}
+
+type net struct {
+	pins []int // cell indices
+}
+
+type placement struct {
+	cells []cell
+	nets  []net
+	grid  int
+	temp  float64
+}
+
+func cellAddr(i int) uint32 { return cellBase + uint32(i)*cellStride }
+
+func addrPriv(g *workload.Gen) uint32 { return addr.Priv(g.CPU) }
+func netAddr(i int) uint32            { return netBase + uint32(i)*netStride }
+
+// halfPerimeter is the standard wirelength estimate of one net, emitting
+// the pin-position loads a real cost evaluation performs.
+func (pl *placement) halfPerimeter(g *workload.Gen, n int) float64 {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	g.Load(netAddr(n)) // pin list header
+	for _, pin := range pl.nets[n].pins {
+		c := &pl.cells[pin]
+		g.Load(cellAddr(pin))     // x
+		g.Load(cellAddr(pin) + 4) // y
+		g.Instr(2)
+		if float64(c.x) < minX {
+			minX = float64(c.x)
+		}
+		if float64(c.x) > maxX {
+			maxX = float64(c.x)
+		}
+		if float64(c.y) < minY {
+			minY = float64(c.y)
+		}
+		if float64(c.y) > maxY {
+			maxY = float64(c.y)
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// move evaluates one swap of two random cells and applies it if accepted.
+func (pl *placement) move(g *workload.Gen, rng *rand.Rand) bool {
+	a := rng.Intn(len(pl.cells))
+	b := rng.Intn(len(pl.cells))
+	if a == b {
+		b = (b + 1) % len(pl.cells)
+	}
+	g.Instr(6) // pick cells, bounds checks
+	cost := func() float64 {
+		var c float64
+		for _, n := range pl.cells[a].nets {
+			c += pl.halfPerimeter(g, n)
+		}
+		for _, n := range pl.cells[b].nets {
+			c += pl.halfPerimeter(g, n)
+		}
+		return c
+	}
+	before := cost()
+	// Tentatively swap and re-evaluate.
+	pl.cells[a].x, pl.cells[b].x = pl.cells[b].x, pl.cells[a].x
+	pl.cells[a].y, pl.cells[b].y = pl.cells[b].y, pl.cells[a].y
+	after := cost()
+	delta := after - before
+	g.Instr(8) // Metropolis test
+	if delta <= 0 || rng.Float64() < math.Exp(-delta/pl.temp) {
+		// Accept: commit the new positions.
+		g.Store(cellAddr(a))
+		g.Store(cellAddr(a) + 4)
+		g.Store(cellAddr(b))
+		g.Store(cellAddr(b) + 4)
+		g.Instr(3)
+		return true
+	}
+	// Reject: swap back.
+	pl.cells[a].x, pl.cells[b].x = pl.cells[b].x, pl.cells[a].x
+	pl.cells[a].y, pl.cells[b].y = pl.cells[b].y, pl.cells[a].y
+	g.Instr(2)
+	return false
+}
+
+// Generate implements workload.Program.
+func (pd *Pdsa) Generate(p workload.Params) (*trace.Set, error) {
+	p = p.WithDefaults(pd.DefaultNCPU())
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nThreads := workload.ScaleInt(pd.Threads, p.Scale, 2*p.NCPU)
+	nCells := workload.ScaleInt(pd.Cells, math.Sqrt(p.Scale), 64)
+
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x70647361))
+	grid := int(math.Ceil(math.Sqrt(float64(nCells))))
+	pl := &placement{grid: grid, temp: 10}
+	pl.cells = make([]cell, nCells)
+	for i := range pl.cells {
+		pl.cells[i] = cell{x: i % grid, y: i / grid}
+	}
+	nNets := nCells * pd.NetsPerCell / 3
+	if nNets < 1 {
+		nNets = 1
+	}
+	pl.nets = make([]net, nNets)
+	for i := range pl.nets {
+		pins := rng.Intn(2) + 3
+		pl.nets[i].pins = make([]int, 0, pins)
+		for j := 0; j < pins; j++ {
+			c := rng.Intn(nCells)
+			pl.nets[i].pins = append(pl.nets[i].pins, c)
+			pl.cells[c].nets = append(pl.cells[c].nets, i)
+		}
+	}
+	// Cap per-cell connectivity so move cost stays representative.
+	for i := range pl.cells {
+		if len(pl.cells[i].nets) > pd.NetsPerCell {
+			pl.cells[i].nets = pl.cells[i].nets[:pd.NetsPerCell]
+		}
+	}
+
+	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	for _, g := range coord.Gens {
+		g.SetCPI(2, 2) // Pdsa's trace runs at ~2 cycles per instruction
+	}
+	cfg := presto.DefaultConfig()
+	// Pdsa's scheduler sections (Table 2: 190-cycle average hold, 20.7%
+	// locked time).
+	cfg.DispatchPre = 22
+	cfg.DispatchQueue = 26
+	cfg.DispatchPost = 109
+	rt := presto.New(coord, cfg)
+
+	cooling := math.Pow(0.2, 1/math.Max(1, float64(nThreads)))
+	for i := 0; i < nThreads; i += pd.SpawnBatch {
+		bodies := make([]presto.Body, 0, pd.SpawnBatch)
+		for j := i; j < i+pd.SpawnBatch && j < nThreads; j++ {
+			bodies = append(bodies, func(g *workload.Gen) {
+				g.SetFunc(fnMove)
+				g.Instr(5)
+				for k := 0; k < pd.MovesPerThread; k++ {
+					pl.move(g, g.Rand())
+					g.Instr(16) // window bookkeeping between moves
+					// Loop bookkeeping on the thread's stack (one of
+					// the few private references Presto programs make).
+					g.Store(addrPriv(g) + uint32(k%16)*4)
+					g.Load(addrPriv(g) + uint32(k%16)*4)
+				}
+				pl.temp *= cooling // annealing schedule (shared state)
+				g.Store(addr.SharedBase + 0x100)
+				g.Instr(3)
+			})
+		}
+		rt.Enqueue(coord.Next(), bodies...)
+		// Interleave spawning and dispatching as the work crew does:
+		// keep the ready queue short.
+		rt.RunUntil(4 * p.NCPU)
+	}
+	rt.RunAll()
+	return coord.Set(pd.Name())
+}

@@ -1,0 +1,124 @@
+package pdsa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+func smallPlacement(n int, seed int64) *placement {
+	rng := rand.New(rand.NewSource(seed))
+	grid := int(math.Ceil(math.Sqrt(float64(n))))
+	pl := &placement{grid: grid, temp: 10}
+	pl.cells = make([]cell, n)
+	for i := range pl.cells {
+		pl.cells[i] = cell{x: i % grid, y: i / grid}
+	}
+	pl.nets = make([]net, n/2)
+	for i := range pl.nets {
+		for j := 0; j < 3; j++ {
+			c := rng.Intn(n)
+			pl.nets[i].pins = append(pl.nets[i].pins, c)
+			if len(pl.cells[c].nets) < 2 {
+				pl.cells[c].nets = append(pl.cells[c].nets, i)
+			}
+		}
+	}
+	return pl
+}
+
+func TestHalfPerimeter(t *testing.T) {
+	pl := &placement{
+		cells: []cell{{x: 0, y: 0}, {x: 3, y: 4}, {x: 1, y: 2}},
+		nets:  []net{{pins: []int{0, 1, 2}}},
+	}
+	g := workload.NewGen(0, 1)
+	got := pl.halfPerimeter(g, 0)
+	if got != 3+4 {
+		t.Fatalf("half perimeter = %f, want 7", got)
+	}
+	// One pin-list load plus two loads per pin.
+	if g.Events() != 1+3*2+3 { // includes Instr(2) per pin... events = refs + instr events
+		t.Logf("events = %d (loads + instruction fetches)", g.Events())
+	}
+}
+
+func TestMoveSwapsOrRestores(t *testing.T) {
+	pl := smallPlacement(64, 1)
+	g := workload.NewGen(0, 1)
+	// Record positions; after a move, either a swap happened (accepted)
+	// or everything is exactly as before (rejected).
+	before := make([]cell, len(pl.cells))
+	copy(before, pl.cells)
+	rng := rand.New(rand.NewSource(2))
+	accepted := pl.move(g, rng)
+	diffs := 0
+	for i := range pl.cells {
+		if pl.cells[i].x != before[i].x || pl.cells[i].y != before[i].y {
+			diffs++
+		}
+	}
+	if accepted && diffs != 2 {
+		t.Fatalf("accepted move changed %d cells, want 2", diffs)
+	}
+	if !accepted && diffs != 0 {
+		t.Fatalf("rejected move changed %d cells, want 0", diffs)
+	}
+}
+
+func TestAnnealingImprovesCost(t *testing.T) {
+	pl := smallPlacement(256, 3)
+	total := func() float64 {
+		g := workload.NewGen(0, 1)
+		var c float64
+		for i := range pl.nets {
+			c += pl.halfPerimeter(g, i)
+		}
+		return c
+	}
+	// Scramble the placement badly first.
+	rng := rand.New(rand.NewSource(4))
+	for i := range pl.cells {
+		j := rng.Intn(len(pl.cells))
+		pl.cells[i].x, pl.cells[j].x = pl.cells[j].x, pl.cells[i].x
+		pl.cells[i].y, pl.cells[j].y = pl.cells[j].y, pl.cells[i].y
+	}
+	before := total()
+	g := workload.NewGen(0, 1)
+	pl.temp = 0.01 // effectively greedy
+	for i := 0; i < 3000; i++ {
+		pl.move(g, rng)
+	}
+	after := total()
+	if after >= before {
+		t.Fatalf("annealing did not improve wirelength: %f → %f", before, after)
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	pd := New()
+	pd.Threads = 200
+	set, err := pd.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := make([][]trace.Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = trace.Drain(src)
+	}
+	if err := trace.Validate(cpus); err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(trace.BufferSet("t", cpus), addr.Shared)
+	var nested uint64
+	for _, c := range stats.CPUs {
+		nested += c.NestedLocks
+	}
+	if nested != 200 {
+		t.Errorf("nested = %d, want 200 (one per dispatch)", nested)
+	}
+}

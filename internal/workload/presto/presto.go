@@ -1,0 +1,167 @@
+// Package presto emulates, at trace-generation time, the Presto C++
+// parallel-programming environment the paper's first three benchmarks were
+// written in: user-level threads drawn from a global ready queue, with the
+// scheduling and context-switch instructions visible in the trace.
+//
+// The locking pattern follows the paper's description exactly: thread
+// dispatch takes the scheduler lock and, nested inside it, the thread-queue
+// lock; enqueues take the thread-queue lock alone (the "inner lock
+// sometimes held when the outer is not"). These two hot locks are what
+// make Grav and Pdsa the high-contention programs of Tables 3-6.
+package presto
+
+import (
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+// Lock ids reserved for the runtime; applications use ids ≥ 16.
+const (
+	SchedLock uint32 = 0
+	QueueLock uint32 = 1
+)
+
+// Code-window indices for the runtime's functions.
+const (
+	fnScheduler = 1
+	fnEnqueue   = 2
+)
+
+// Body is a user-level thread: it runs to completion on the processor that
+// dequeued it, emitting its own trace events.
+type Body func(g *workload.Gen)
+
+// Config tunes the instruction footprint of the runtime's critical
+// sections. Instruction counts convert to cycles at ~3 cycles each; the
+// defaults land near Grav's observed ~200-cycle average lock hold.
+type Config struct {
+	// DispatchPre / DispatchQueue / DispatchPost are the instruction
+	// counts of the scheduler critical section: before taking the queue
+	// lock, inside it (the dequeue), and after releasing it (context
+	// switch bookkeeping). The scheduler lock is held for all three.
+	DispatchPre   int
+	DispatchQueue int
+	DispatchPost  int
+	// DispatchOutside is scheduler-loop work outside any lock.
+	DispatchOutside int
+	// EnqueueBase and EnqueuePerThread size the enqueue critical section
+	// (queue lock only).
+	EnqueueBase      int
+	EnqueuePerThread int
+}
+
+// DefaultConfig returns critical-section sizes representative of Presto's
+// scheduler (calibrated against the paper's Table 2 hold times).
+func DefaultConfig() Config {
+	return Config{
+		DispatchPre:      12,
+		DispatchQueue:    30,
+		DispatchPost:     26,
+		DispatchOutside:  8,
+		EnqueueBase:      10,
+		EnqueuePerThread: 6,
+	}
+}
+
+// Runtime is the generation-time scheduler.
+type Runtime struct {
+	Coord *workload.Coordinator
+	Cfg   Config
+
+	queue []Body
+	// shared scheduler state addresses (for the CS's data references)
+	schedState uint32
+	queueState uint32
+
+	dispatches uint64
+	enqueues   uint64
+}
+
+// New creates a runtime over the coordinator.
+func New(coord *workload.Coordinator, cfg Config) *Runtime {
+	return &Runtime{
+		Coord:      coord,
+		Cfg:        cfg,
+		schedState: addr.SharedBase,        // scheduler control block
+		queueState: addr.SharedBase + 0x80, // ready-queue head/tail block
+	}
+}
+
+// Dispatches returns the number of threads dispatched so far.
+func (r *Runtime) Dispatches() uint64 { return r.dispatches }
+
+// Enqueues returns the number of enqueue critical sections executed.
+func (r *Runtime) Enqueues() uint64 { return r.enqueues }
+
+// Pending returns the current ready-queue length.
+func (r *Runtime) Pending() int { return len(r.queue) }
+
+// Enqueue emits one enqueue critical section on g (queue lock alone, the
+// non-nested inner-lock case) and adds the bodies to the ready queue.
+func (r *Runtime) Enqueue(g *workload.Gen, bodies ...Body) {
+	if len(bodies) == 0 {
+		return
+	}
+	g.SetFunc(fnEnqueue)
+	g.Instr(3)
+	g.Lock(QueueLock)
+	g.Instr(r.Cfg.EnqueueBase / 2)
+	g.Load(r.queueState + 4) // tail pointer
+	for i := range bodies {
+		g.Instr(r.Cfg.EnqueuePerThread)
+		g.Store(r.queueState + 8 + uint32(i%16)*4) // link the thread object
+	}
+	g.Instr(r.Cfg.EnqueueBase - r.Cfg.EnqueueBase/2)
+	g.Store(r.queueState + 4)
+	g.Unlock(QueueLock)
+	r.queue = append(r.queue, bodies...)
+	r.enqueues++
+}
+
+// dispatch emits one scheduler iteration on g and runs the dequeued thread
+// body. It reports false when the ready queue is empty.
+func (r *Runtime) dispatch(g *workload.Gen) bool {
+	if len(r.queue) == 0 {
+		return false
+	}
+	body := r.queue[0]
+	r.queue = r.queue[1:]
+
+	g.SetFunc(fnScheduler)
+	g.Instr(r.Cfg.DispatchOutside / 2)
+	g.Lock(SchedLock)
+	g.Instr(r.Cfg.DispatchPre)
+	g.Load(r.schedState)      // current thread pointer
+	g.Store(r.schedState + 8) // scheduler status
+	g.Lock(QueueLock)
+	g.Instr(r.Cfg.DispatchQueue)
+	g.Load(r.queueState)      // head pointer
+	g.Load(r.queueState + 12) // thread object
+	g.Store(r.queueState)     // unlink
+	g.Unlock(QueueLock)
+	g.Instr(r.Cfg.DispatchPost)
+	g.Store(r.schedState)     // install new thread
+	g.Load(r.schedState + 16) // saved context
+	g.Unlock(SchedLock)
+	g.Instr(r.Cfg.DispatchOutside - r.Cfg.DispatchOutside/2)
+
+	r.dispatches++
+	body(g)
+	return true
+}
+
+// RunAll drains the ready queue, always dispatching on the processor with
+// the smallest virtual time — the processor that would grab the next
+// thread in the traced run. Bodies may call Enqueue to spawn more threads.
+func (r *Runtime) RunAll() {
+	r.RunUntil(0)
+}
+
+// RunUntil dispatches threads until at most pending remain queued, letting
+// callers interleave spawning with dispatching as a real work crew does.
+func (r *Runtime) RunUntil(pending int) {
+	for len(r.queue) > pending {
+		g := r.Coord.Next()
+		r.dispatch(g)
+	}
+}

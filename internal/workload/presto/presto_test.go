@@ -1,0 +1,159 @@
+package presto
+
+import (
+	"testing"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+func drainAll(t *testing.T, coord *workload.Coordinator) [][]trace.Event {
+	t.Helper()
+	set, err := coord.Set("presto-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := make([][]trace.Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = trace.Drain(src)
+	}
+	return cpus
+}
+
+func TestDispatchEmitsNestedLockPattern(t *testing.T) {
+	coord := workload.NewCoordinator(1, 1)
+	rt := New(coord, DefaultConfig())
+	ran := false
+	rt.Enqueue(coord.Gens[0], func(g *workload.Gen) { ran = true; g.Instr(5) })
+	rt.RunAll()
+	if !ran {
+		t.Fatal("thread body did not run")
+	}
+	evs := drainAll(t, coord)[0]
+
+	// Expect, in order: queue lock pair (enqueue), then sched lock with a
+	// queue lock nested inside it.
+	var lockSeq []string
+	depth := 0
+	sawNested := false
+	for _, ev := range evs {
+		switch ev.Kind {
+		case trace.KindLock:
+			depth++
+			if depth == 2 {
+				sawNested = true
+				if ev.Arg != QueueLock {
+					t.Fatalf("nested lock is %d, want queue lock %d", ev.Arg, QueueLock)
+				}
+			}
+			lockSeq = append(lockSeq, "L")
+		case trace.KindUnlock:
+			depth--
+			lockSeq = append(lockSeq, "U")
+		}
+	}
+	if !sawNested {
+		t.Fatalf("no nested acquisition in %v", lockSeq)
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced locks: %v", lockSeq)
+	}
+	if rt.Dispatches() != 1 || rt.Enqueues() != 1 {
+		t.Fatalf("dispatches=%d enqueues=%d", rt.Dispatches(), rt.Enqueues())
+	}
+}
+
+func TestIdealStatsMatchStructure(t *testing.T) {
+	// N threads dispatched on P CPUs: nested locks per CPU ≈ dispatches
+	// per CPU; pairs = 2×dispatches + enqueues.
+	const ncpu, threads = 4, 40
+	coord := workload.NewCoordinator(ncpu, 1)
+	rt := New(coord, DefaultConfig())
+	for i := 0; i < threads; i += 2 {
+		rt.Enqueue(coord.Next(),
+			func(g *workload.Gen) { g.Instr(100) },
+			func(g *workload.Gen) { g.Instr(100) })
+	}
+	rt.RunAll()
+	set, err := coord.Set("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(set, addr.Shared)
+	var pairs, nested uint64
+	for _, c := range stats.CPUs {
+		pairs += c.LockPairs
+		nested += c.NestedLocks
+	}
+	if nested != threads {
+		t.Errorf("nested = %d, want %d (one per dispatch)", nested, threads)
+	}
+	wantPairs := uint64(2*threads + threads/2)
+	if pairs != wantPairs {
+		t.Errorf("pairs = %d, want %d", pairs, wantPairs)
+	}
+}
+
+func TestTraceValidates(t *testing.T) {
+	coord := workload.NewCoordinator(3, 1)
+	rt := New(coord, DefaultConfig())
+	for i := 0; i < 21; i++ {
+		rt.Enqueue(coord.Next(), func(g *workload.Gen) { g.Instr(30); g.Load(addr.SharedBase + 0x1000) })
+	}
+	rt.RunAll()
+	cpus := drainAll(t, coord)
+	if err := trace.Validate(cpus); err != nil {
+		t.Fatalf("presto trace malformed: %v", err)
+	}
+}
+
+func TestRunUntilLeavesPending(t *testing.T) {
+	coord := workload.NewCoordinator(1, 1)
+	rt := New(coord, DefaultConfig())
+	bodies := make([]Body, 10)
+	for i := range bodies {
+		bodies[i] = func(g *workload.Gen) { g.Instr(1) }
+	}
+	rt.Enqueue(coord.Gens[0], bodies...)
+	rt.RunUntil(4)
+	if rt.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4", rt.Pending())
+	}
+	rt.RunAll()
+	if rt.Pending() != 0 {
+		t.Fatalf("Pending = %d after RunAll", rt.Pending())
+	}
+}
+
+func TestEnqueueEmptyIsNoop(t *testing.T) {
+	coord := workload.NewCoordinator(1, 1)
+	rt := New(coord, DefaultConfig())
+	rt.Enqueue(coord.Gens[0])
+	if rt.Enqueues() != 0 || coord.Gens[0].Events() != 0 {
+		t.Fatal("empty enqueue emitted events")
+	}
+}
+
+func TestBalancedDispatchAcrossCPUs(t *testing.T) {
+	const ncpu, threads = 4, 100
+	coord := workload.NewCoordinator(ncpu, 1)
+	rt := New(coord, DefaultConfig())
+	for i := 0; i < threads; i++ {
+		rt.Enqueue(coord.Next(), func(g *workload.Gen) { g.Instr(50) })
+	}
+	rt.RunAll()
+	// Equal-length bodies: virtual times must end up close.
+	min, max := coord.Gens[0].VT, coord.Gens[0].VT
+	for _, g := range coord.Gens[1:] {
+		if g.VT < min {
+			min = g.VT
+		}
+		if g.VT > max {
+			max = g.VT
+		}
+	}
+	if float64(max-min) > 0.2*float64(max) {
+		t.Fatalf("unbalanced virtual times: min %d, max %d", min, max)
+	}
+}

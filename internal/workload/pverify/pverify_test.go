@@ -1,0 +1,124 @@
+package pverify
+
+import (
+	"math/rand"
+	"testing"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+func TestCircuitEvalDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ckt := newCircuit(256, 32, rng)
+	g1 := workload.NewGen(0, 1)
+	g2 := workload.NewGen(0, 1)
+	for v := 0; v < 20; v++ {
+		cube := uint64(v) * 0x9e3779b97f4a7c15
+		b1, b2 := 100, 100
+		r1 := ckt.eval(g1, 200, cube, map[int]bool{}, &b1)
+		r2 := ckt.eval(g2, 200, cube, map[int]bool{}, &b2)
+		if r1 != r2 {
+			t.Fatalf("same circuit, same cube, different results at vector %d", v)
+		}
+	}
+}
+
+func TestCircuitEvalGateSemantics(t *testing.T) {
+	// Hand-built circuit: gate 0 = AND(in1, in2), gate 1 = NOT(gate 0),
+	// gate 2 = XOR(gate 0, gate 1) — always true.
+	ckt := &circuit{gates: []gate{
+		{op: 0, a: -1, b: -2},
+		{op: 3, a: 0, b: 0},
+		{op: 2, a: 0, b: 1},
+	}}
+	g := workload.NewGen(0, 1)
+	for _, cube := range []uint64{0, ^uint64(0), 0x5555, 0xAAAA} {
+		budget := 10
+		if !ckt.eval(g, 2, cube, map[int]bool{}, &budget) {
+			t.Fatalf("x XOR NOT(x) must be true (cube %#x)", cube)
+		}
+	}
+}
+
+func TestIdenticalCircuitsAreEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ckt := newCircuit(512, 32, rng)
+	g := workload.NewGen(0, 1)
+	for v := 0; v < 50; v++ {
+		cube := rng.Uint64()
+		b1, b2 := 64, 64
+		r1 := ckt.eval(g, 500, cube, map[int]bool{}, &b1)
+		r2 := ckt.eval(g, 500, cube, map[int]bool{}, &b2)
+		if r1 != r2 {
+			t.Fatal("a circuit must be equivalent to itself")
+		}
+	}
+}
+
+func TestMemoisationBoundsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ckt := newCircuit(1024, 16, rng)
+	g := workload.NewGen(0, 1)
+	budget := 5
+	ckt.eval(g, 1000, 42, map[int]bool{}, &budget)
+	if budget < 0 {
+		t.Fatalf("budget overrun: %d", budget)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	pv := New()
+	pv.Outputs = 120
+	set, err := pv.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := make([][]trace.Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = trace.Drain(src)
+	}
+	if err := trace.Validate(cpus); err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(trace.BufferSet("t", cpus), addr.Shared)
+	var pairs, nested uint64
+	taskLockAcqs := uint64(0)
+	for _, c := range stats.CPUs {
+		pairs += c.LockPairs
+		nested += c.NestedLocks
+		taskLockAcqs += c.LockAddrs[addr.Lock(taskLock)]
+	}
+	if nested != 0 {
+		t.Errorf("Pverify must not nest locks, got %d", nested)
+	}
+	if pairs != 2*120 {
+		t.Errorf("pairs = %d, want %d (task + bucket per output)", pairs, 2*120)
+	}
+	if taskLockAcqs != 120 {
+		t.Errorf("task lock acquisitions = %d, want 120", taskLockAcqs)
+	}
+}
+
+func TestBucketStriping(t *testing.T) {
+	pv := New()
+	pv.Outputs = 400
+	set, err := pv.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(set, addr.Shared)
+	buckets := map[uint32]bool{}
+	for _, c := range stats.CPUs {
+		for a := range c.LockAddrs {
+			if a != addr.Lock(taskLock) {
+				buckets[a] = true
+			}
+		}
+	}
+	// 400 outputs hashed over 1024 stripes must hit many distinct locks.
+	if len(buckets) < 200 {
+		t.Fatalf("only %d distinct bucket locks; striping broken", len(buckets))
+	}
+}

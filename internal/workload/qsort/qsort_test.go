@@ -1,0 +1,170 @@
+package qsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+func TestMedian3(t *testing.T) {
+	cases := []struct {
+		a, b, c, want int32
+	}{
+		{1, 2, 3, 2}, {3, 2, 1, 2}, {2, 1, 3, 2}, {2, 3, 1, 2},
+		{1, 1, 1, 1}, {1, 2, 2, 2}, {-5, 0, 5, 0},
+	}
+	for _, cse := range cases {
+		if got := median3(cse.a, cse.b, cse.c); got != cse.want {
+			t.Errorf("median3(%d,%d,%d) = %d, want %d", cse.a, cse.b, cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestPartitionSplitsAroundPivot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := &sorter{data: make([]int32, 200)}
+	for i := range s.data {
+		s.data[i] = int32(rng.Intn(100))
+	}
+	g := workload.NewGen(0, 1)
+	mid := s.partition(g, 0, len(s.data))
+	if mid <= 0 || mid >= len(s.data) {
+		t.Fatalf("degenerate split at %d", mid)
+	}
+	maxLeft := s.data[0]
+	for _, v := range s.data[:mid] {
+		if v > maxLeft {
+			maxLeft = v
+		}
+	}
+	for _, v := range s.data[mid:] {
+		if v < maxLeft {
+			// Hoare partition guarantees left ≤ pivot ≤ right only in
+			// the weak sense; verify no left element exceeds all right.
+			minRight := s.data[mid]
+			for _, r := range s.data[mid:] {
+				if r < minRight {
+					minRight = r
+				}
+			}
+			if maxLeft > minRight {
+				t.Fatalf("partition broken: max(left)=%d > min(right)=%d", maxLeft, minRight)
+			}
+			break
+		}
+	}
+}
+
+func TestLocalSortSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := &sorter{data: make([]int32, 500)}
+	for i := range s.data {
+		s.data[i] = int32(rng.Uint32())
+	}
+	g := workload.NewGen(0, 1)
+	s.localSort(g, 0, len(s.data))
+	if !sort.SliceIsSorted(s.data, func(i, j int) bool { return s.data[i] < s.data[j] }) {
+		t.Fatal("localSort did not sort")
+	}
+}
+
+func TestGenerateSortsAndValidates(t *testing.T) {
+	q := New()
+	q.Elements = 3000 // small but the generator floors at 48k for realism
+	set, err := q.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator panics internally if the array is not sorted, so
+	// reaching here proves the sort; still validate the trace.
+	cpus := make([][]trace.Event, set.NCPU())
+	for i, src := range set.Sources {
+		cpus[i] = trace.Drain(src)
+	}
+	if err := trace.Validate(cpus); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAddrSequentialForSmallSegments(t *testing.T) {
+	if got := scanAddr(0, 100, 42); got != elemAddr(42) {
+		t.Fatalf("small segment scanAddr = %#x, want sequential %#x", got, elemAddr(42))
+	}
+}
+
+func TestScanAddrScramblesLargeSegments(t *testing.T) {
+	lo, hi := 0, missWindow*4
+	seen := map[uint32]bool{}
+	sequentialHits := 0
+	for k := lo; k < lo+1000; k++ {
+		a := scanAddr(lo, hi, k)
+		if a == elemAddr(k) {
+			sequentialHits++
+		}
+		if a < elemAddr(lo) || a >= elemAddr(hi) {
+			t.Fatalf("scrambled address %#x outside segment", a)
+		}
+		seen[a] = true
+	}
+	if sequentialHits > 10 {
+		t.Fatalf("%d/1000 scrambled addresses identical to sequential", sequentialHits)
+	}
+	if len(seen) < 990 {
+		t.Fatalf("scramble collides heavily: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestQueueOpsEmitLockPairs(t *testing.T) {
+	s := &sorter{queue: []segment{{0, 10}}, data: make([]int32, 10)}
+	g := workload.NewGen(0, 1)
+	if _, ok := s.pop(g); !ok {
+		t.Fatal("pop failed")
+	}
+	s.push(g, segment{0, 5})
+	coord := &workload.Coordinator{Gens: []*workload.Gen{g}}
+	set, err := coord.Set("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var locks, unlocks int
+	for _, ev := range trace.Drain(set.Sources[0]) {
+		switch ev.Kind {
+		case trace.KindLock:
+			locks++
+			if ev.Addr != addr.Lock(queueLock) {
+				t.Fatalf("lock at %#x, want queue lock", ev.Addr)
+			}
+		case trace.KindUnlock:
+			unlocks++
+		}
+	}
+	if locks != 2 || unlocks != 2 {
+		t.Fatalf("lock/unlock = %d/%d, want 2/2", locks, unlocks)
+	}
+}
+
+// Property: the generator sorts any seed's data (its internal panic checks
+// it) and produces well-formed traces.
+func TestGenerateProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		q := New()
+		q.Elements = 2000
+		set, err := q.Generate(workload.Params{NCPU: 3, Scale: 0.02, Seed: seed})
+		if err != nil {
+			return false
+		}
+		cpus := make([][]trace.Event, set.NCPU())
+		for i, src := range set.Sources {
+			cpus[i] = trace.Drain(src)
+		}
+		return trace.Validate(cpus) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

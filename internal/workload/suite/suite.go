@@ -1,0 +1,87 @@
+// Package suite assembles the paper's six-benchmark suite and records the
+// published statistics each generator is calibrated against (Tables 1-2)
+// and evaluated against (Tables 3-8).
+package suite
+
+import (
+	"fmt"
+
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/fullconn"
+	"syncsim/internal/workload/grav"
+	"syncsim/internal/workload/pdsa"
+	"syncsim/internal/workload/pverify"
+	"syncsim/internal/workload/qsort"
+	"syncsim/internal/workload/topopt"
+)
+
+// Ideal holds a benchmark's published per-processor ideal statistics
+// (paper Tables 1 and 2; cycle and reference counts in thousands).
+type Ideal struct {
+	NCPU        int
+	WorkKCycles float64
+	RefsK       float64
+	DataK       float64
+	SharedK     float64
+	LockPairs   float64
+	NestedLocks float64
+	AvgHeld     float64 // cycles; 0 when the program has no locks
+	TotalHeldK  float64
+	PctTime     float64
+}
+
+// Benchmark couples a generator with its paper-published statistics.
+type Benchmark struct {
+	Program workload.Program
+	Paper   Ideal
+}
+
+// All returns the six benchmarks in the paper's table order.
+func All() []Benchmark {
+	return []Benchmark{
+		{grav.New(), Ideal{
+			NCPU: 10, WorkKCycles: 2841, RefsK: 1185, DataK: 423, SharedK: 377,
+			LockPairs: 6389, NestedLocks: 2579, AvgHeld: 200, TotalHeldK: 1131, PctTime: 39.8,
+		}},
+		{pdsa.New(), Ideal{
+			NCPU: 12, WorkKCycles: 2458, RefsK: 1206, DataK: 431, SharedK: 410,
+			LockPairs: 3110, NestedLocks: 1467, AvgHeld: 190, TotalHeldK: 510, PctTime: 20.7,
+		}},
+		{fullconn.New(), Ideal{
+			NCPU: 12, WorkKCycles: 3848, RefsK: 967, DataK: 346, SharedK: 332,
+			LockPairs: 652, NestedLocks: 134, AvgHeld: 334, TotalHeldK: 210, PctTime: 5.5,
+		}},
+		{pverify.New(), Ideal{
+			NCPU: 12, WorkKCycles: 5544, RefsK: 2431, DataK: 682, SharedK: 254,
+			LockPairs: 555, NestedLocks: 0, AvgHeld: 3642, TotalHeldK: 2021, PctTime: 36.5,
+		}},
+		{qsort.New(), Ideal{
+			NCPU: 12, WorkKCycles: 2825, RefsK: 1177, DataK: 252, SharedK: 142,
+			LockPairs: 212, NestedLocks: 0, AvgHeld: 52, TotalHeldK: 11, PctTime: 0.3,
+		}},
+		{topopt.New(), Ideal{
+			NCPU: 9, WorkKCycles: 10182, RefsK: 4135, DataK: 1113, SharedK: 413,
+			LockPairs: 0, NestedLocks: 0, AvgHeld: 0, TotalHeldK: 0, PctTime: 0,
+		}},
+	}
+}
+
+// ByName returns the benchmark with the given (case-sensitive) name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Program.Name() == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("suite: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark names in table order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, b := range all {
+		names[i] = b.Program.Name()
+	}
+	return names
+}

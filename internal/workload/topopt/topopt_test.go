@@ -1,0 +1,104 @@
+package topopt
+
+import (
+	"testing"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+func TestNoLocksEver(t *testing.T) {
+	tp := New()
+	tp.MovesPerCPU = 500
+	set, err := tp.Generate(workload.Params{NCPU: 3, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range set.Sources {
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind.IsSync() {
+				t.Fatalf("cpu %d emitted sync event %v; Topopt is lock-free", i, ev)
+			}
+		}
+	}
+}
+
+func TestSlowCPUHasHigherCPI(t *testing.T) {
+	tp := New()
+	tp.MovesPerCPU = 2000
+	set, err := tp.Generate(workload.Params{NCPU: 4, Scale: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(set, addr.Shared)
+	cpi := func(i int) float64 {
+		return float64(stats.CPUs[i].WorkCycles) / float64(stats.CPUs[i].Refs)
+	}
+	slow := cpi(tp.SlowCPU)
+	other := cpi((tp.SlowCPU + 1) % 4)
+	if slow <= other*1.2 {
+		t.Fatalf("slow cpu CPI %.2f not clearly above others' %.2f", slow, other)
+	}
+	// Same reference counts despite the higher CPI (the paper's note).
+	refRatio := float64(stats.CPUs[tp.SlowCPU].Refs) / float64(stats.CPUs[1].Refs)
+	if refRatio < 0.95 || refRatio > 1.05 {
+		t.Fatalf("slow cpu refs differ by %.0f%%; should match others", 100*(refRatio-1))
+	}
+}
+
+func TestDisableSlowCPU(t *testing.T) {
+	tp := New()
+	tp.MovesPerCPU = 1000
+	tp.SlowCPU = -1
+	set, err := tp.Generate(workload.Params{NCPU: 3, Scale: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := trace.AnalyzeIdeal(set, addr.Shared)
+	for i := 1; i < 3; i++ {
+		r := float64(stats.CPUs[i].WorkCycles) / float64(stats.CPUs[0].WorkCycles)
+		if r < 0.9 || r > 1.1 {
+			t.Fatalf("cpu %d work differs by %.0f%% with SlowCPU disabled", i, 100*(r-1))
+		}
+	}
+}
+
+func TestAnnealDeltaZeroForSameRow(t *testing.T) {
+	w := &window{rows: make([]int32, 64), temp: 1}
+	g := workload.NewGen(0, 1)
+	if d := annealDelta(w, 5, w.rows[5], g.Rand()); d != 0 {
+		t.Fatalf("same-row move delta = %f, want 0", d)
+	}
+}
+
+func TestPrivateRefsStayPrivate(t *testing.T) {
+	tp := New()
+	tp.MovesPerCPU = 300
+	set, err := tp.Generate(workload.Params{NCPU: 2, Scale: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cpu, src := range set.Sources {
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			if !ev.Kind.IsData() {
+				continue
+			}
+			if addr.IsPrivate(ev.Addr) {
+				// Must be inside this cpu's own window.
+				lo := addr.Priv(cpu)
+				if ev.Addr < lo || ev.Addr >= lo+addr.PrivWindow {
+					t.Fatalf("cpu %d touched cpu-foreign private address %#x", cpu, ev.Addr)
+				}
+			}
+		}
+	}
+}

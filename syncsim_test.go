@@ -1,0 +1,91 @@
+package syncsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeBenchmarks(t *testing.T) {
+	benches := Benchmarks()
+	if len(benches) != 6 {
+		t.Fatalf("Benchmarks() = %d entries, want 6", len(benches))
+	}
+	if benches[0].Program.Name() != "Grav" {
+		t.Errorf("first benchmark %q, want Grav (table order)", benches[0].Program.Name())
+	}
+	if _, err := BenchmarkByName("Qsort"); err != nil {
+		t.Errorf("BenchmarkByName(Qsort): %v", err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("BenchmarkByName accepted junk")
+	}
+}
+
+func TestFacadeCustomTraceSimulation(t *testing.T) {
+	cpus := [][]Event{
+		{Lock(0, 0xF0000000), Exec(50), Write(0x80000000), Unlock(0, 0xF0000000), Exec(10)},
+		{Lock(0, 0xF0000000), Exec(50), Write(0x80000000), Unlock(0, 0xF0000000), Exec(10)},
+	}
+	set := BufferTraceSet("api", cpus)
+	ideal := AnalyzeIdeal(set)
+	if ideal.LockPairs != 1 {
+		t.Errorf("LockPairs = %v, want 1 per cpu", ideal.LockPairs)
+	}
+	if ideal.SharedRefs != 1 {
+		t.Errorf("SharedRefs = %v, want 1 per cpu (classifier wired through)", ideal.SharedRefs)
+	}
+
+	set = BufferTraceSet("api", cpus)
+	cfg := DefaultMachineConfig()
+	res, err := Simulate(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locks.Acquisitions != 2 || res.Locks.Transfers != 1 {
+		t.Errorf("lock stats: %+v", res.Locks)
+	}
+}
+
+func TestFacadeConstantsDistinct(t *testing.T) {
+	if QueueLocks == TestTestSet {
+		t.Error("lock algorithms not distinct")
+	}
+	if SeqConsistent == WeakOrdering {
+		t.Error("consistency models not distinct")
+	}
+	if ModelQueue == ModelTTS || ModelTTS == ModelWO {
+		t.Error("models not distinct")
+	}
+}
+
+func TestFacadeRunSuiteAndTables(t *testing.T) {
+	outs, err := RunSuite(Options{
+		Scale:  0.02,
+		Seed:   1,
+		Only:   []string{"FullConn"},
+		Models: []Model{ModelQueue, ModelTTS, ModelWO},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	all := AllTables(outs)
+	for _, want := range []string{"Table 1", "Table 8", "FullConn"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("AllTables missing %q", want)
+		}
+	}
+	if dec, ok := outs[0].Decomposition(); !ok {
+		t.Error("decomposition missing")
+	} else if dec.QueueRunTime == 0 {
+		t.Error("decomposition empty")
+	}
+}
+
+func TestFacadeSharedAddr(t *testing.T) {
+	if !SharedAddr(0x80000000) || SharedAddr(0x40000000) {
+		t.Error("SharedAddr classifier wrong")
+	}
+}
