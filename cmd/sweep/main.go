@@ -4,24 +4,31 @@
 // This is the harness for figure-style plots the paper's discussion asks
 // for (scalability of the lock schemes, weak ordering vs miss penalty).
 //
+// Sweep points run concurrently on the experiment engine: machine-config
+// sweeps (lock, memlat, bufdepth) generate the benchmark trace once and
+// replay it at every point via the trace cache; -metrics reports the
+// cache hit rate, per-phase times and worker occupancy as CSV comments.
+//
 // Usage:
 //
 //	sweep -bench Grav -param ncpu -values 2,4,6,8,10,12 [-lock queue] [-scale 0.1]
 //	sweep -bench Qsort -param memlat -values 3,6,12,24 -cons wo
 //	sweep -bench Grav -param lock -values queue,queue-exact,tts,tts-backoff
-//	sweep -bench Qsort -param bufdepth -values 1,2,4,8 -cons wo
+//	sweep -bench Qsort -param bufdepth -values 1,2,4,8 -cons wo -metrics [-j 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"syncsim/internal/engine"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
-	"syncsim/internal/trace"
 	"syncsim/internal/workload"
 	"syncsim/internal/workload/suite"
 )
@@ -34,6 +41,8 @@ func main() {
 	cons := flag.String("cons", "sc", "consistency model: sc or wo")
 	scale := flag.Float64("scale", 0.1, "workload scale")
 	seed := flag.Int64("seed", 1, "generation seed")
+	workers := flag.Int("j", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+	showMetrics := flag.Bool("metrics", false, "append the engine report as CSV comments")
 	flag.Parse()
 
 	if *values == "" {
@@ -54,15 +63,14 @@ func main() {
 		baseCfg.Consistency = machine.WeakOrdering
 	}
 
-	fmt.Printf("# %s sweep of %s (scale %g, lock %v, %v)\n",
-		*param, *bench, *scale, baseCfg.Lock, baseCfg.Consistency)
-	fmt.Println("value,runtime_cycles,utilization_pct,lock_stall_pct,waiters,xfer_cycles,bus_pct")
-
+	var (
+		tasks  []engine.Task
+		labels []string
+	)
 	for _, v := range strings.Split(*values, ",") {
 		v = strings.TrimSpace(v)
 		cfg := baseCfg
 		params := workload.Params{Scale: *scale, Seed: *seed}
-		label := v
 		switch *param {
 		case "ncpu":
 			n, err := strconv.Atoi(v)
@@ -91,23 +99,36 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown sweep parameter %q", *param))
 		}
+		tasks = append(tasks, engine.Task{
+			Program: b.Program, Params: params, Label: v, Config: cfg,
+		})
+		labels = append(labels, v)
+	}
 
-		set, err := b.Program.Generate(params)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.Reset(set); err != nil {
-			fatal(err)
-		}
-		res, err := machine.Run(set, cfg)
-		if err != nil {
-			fatal(err)
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := engine.New(engine.Config{Workers: *workers})
+	results, report, err := eng.Run(ctx, tasks)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("# %s sweep of %s (scale %g, lock %v, %v)\n",
+		*param, *bench, *scale, baseCfg.Lock, baseCfg.Consistency)
+	fmt.Println("value,runtime_cycles,utilization_pct,lock_stall_pct,waiters,xfer_cycles,bus_pct")
+	for i, r := range results {
+		res := r.Result
 		_, lockPct, _ := res.StallBreakdown()
 		fmt.Printf("%s,%d,%.2f,%.2f,%.3f,%.2f,%.2f\n",
-			label, res.RunTime, 100*res.AvgUtilization(), lockPct,
+			labels[i], res.RunTime, 100*res.AvgUtilization(), lockPct,
 			res.Locks.AvgWaitersAtTransfer(), res.Locks.AvgTransferTime(),
 			100*res.BusUtilization())
+	}
+	if *showMetrics {
+		for _, line := range strings.Split(report.String(), "\n") {
+			fmt.Println("# " + line)
+		}
 	}
 }
 

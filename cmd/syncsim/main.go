@@ -6,17 +6,24 @@
 //
 //	syncsim -bench Grav [-scale 0.2] [-lock queue|tts] [-cons sc|wo] [-ncpu N] [-seed N]
 //	syncsim -trace prog.trc [-lock tts] [-cons wo]
+//	syncsim -bench Pdsa -metrics   # per-phase wall time and throughput
 //	syncsim -arch      # print the modelled architecture (the paper's Figure 1)
+//
+// Interrupting a run (Ctrl-C) cancels the simulation promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"time"
 
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
 	"syncsim/internal/trace"
 	"syncsim/internal/workload"
 	"syncsim/internal/workload/addr"
@@ -55,6 +62,7 @@ func main() {
 	bufDepth := flag.Int("buf", 4, "cache-bus buffer depth")
 	arch := flag.Bool("arch", false, "print the modelled architecture and exit")
 	perCPU := flag.Bool("percpu", false, "print per-processor details")
+	showMetrics := flag.Bool("metrics", false, "print the per-phase run report (generate/analyze/simulate wall time, throughput)")
 	hotLocks := flag.Int("locks", 0, "print the N hottest locks by acquisitions")
 	hist := flag.Bool("hist", false, "print the waiters-at-transfer histogram")
 	flag.Parse()
@@ -87,7 +95,12 @@ func main() {
 		fatal("unknown consistency model %q (want sc or wo)", *cons)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var rep metrics.RunReport
 	var set *trace.Set
+	genStart := time.Now()
 	switch {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
@@ -111,15 +124,23 @@ func main() {
 	default:
 		fatal("need -bench, -trace, or -arch (benchmarks: %v)", suite.Names())
 	}
+	rep.Generate = time.Since(genStart)
 
+	anStart := time.Now()
 	ideal := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+	rep.Analyze = time.Since(anStart)
 	if err := trace.Reset(set); err != nil {
 		fatal("%v", err)
 	}
-	res, err := machine.Run(set, cfg)
+	simStart := time.Now()
+	res, err := machine.RunCtx(ctx, set, cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
+	rep.Simulate = time.Since(simStart)
+	rep.Wall = time.Since(genStart)
+	rep.Runs = 1
+	rep.SimCycles = res.RunTime
 
 	fmt.Printf("%s  (%d CPUs, lock=%s, consistency=%s)\n", res.Name, len(res.CPUs), cfg.Lock, cfg.Consistency)
 	fmt.Printf("  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
@@ -139,6 +160,13 @@ func main() {
 	fmt.Printf("  memory:   %d reads, %d writes\n", res.Memory.Reads, res.Memory.Writes)
 	if res.DroppedWriteBacks > 0 {
 		fmt.Printf("  note:     %d write-backs dropped (buffer-full corner)\n", res.DroppedWriteBacks)
+	}
+	if *showMetrics {
+		fmt.Printf("  metrics:  %s\n", rep)
+		if events, ok := set.Events(); ok {
+			fmt.Printf("            %d trace events (%.0f events/s simulated)\n",
+				events, float64(events)/rep.Simulate.Seconds())
+		}
 	}
 	if *hotLocks > 0 {
 		fmt.Println("  hottest locks:")

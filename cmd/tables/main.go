@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"syncsim/internal/core"
+	"syncsim/internal/metrics"
 	"syncsim/internal/tables"
 )
 
@@ -27,16 +30,23 @@ func main() {
 	table := flag.Int("table", 0, "print a single table 1-8 (0 = all)")
 	decompose := flag.Bool("decompose", false, "print only the §3.2 slowdown decomposition")
 	only := flag.String("only", "", "comma-separated benchmark subset")
+	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	showMetrics := flag.Bool("metrics", false, "print the engine report to stderr after the run")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	opts := core.Options{Scale: *scale, Seed: *seed}
+	opts := core.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *showMetrics {
+		opts.OnReport = func(rep metrics.SuiteReport) {
+			fmt.Fprintln(os.Stderr, rep)
 		}
 	}
 	// Run only the models the requested output needs.
@@ -58,7 +68,10 @@ func main() {
 		opts.Models = []core.Model{} // tables 1-2 need no simulation
 	}
 
-	outs, err := core.RunSuite(opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	outs, err := core.RunSuiteCtx(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)

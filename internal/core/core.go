@@ -4,18 +4,25 @@
 // sequential consistency with queuing locks (Tables 3-4), sequential
 // consistency with test&test&set (Tables 5-6), and weak ordering with
 // queuing locks (Tables 7-8).
+//
+// Runs execute on the concurrent experiment engine (internal/engine): the
+// (benchmark × model) matrix is scheduled over a bounded worker pool, each
+// generated trace is memoised and replayed for every model — exactly as
+// the paper drives one trace through several simulated machines — and
+// long runs are cancellable through a context.
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
+	"syncsim/internal/engine"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
 	"syncsim/internal/stats"
 	"syncsim/internal/trace"
 	"syncsim/internal/workload"
-	"syncsim/internal/workload/addr"
 	"syncsim/internal/workload/suite"
 )
 
@@ -69,6 +76,9 @@ type Outcome struct {
 	Params  workload.Params
 	Ideal   trace.Summary
 	Results map[Model]*machine.Result
+	// Report breaks down where the benchmark's wall time went, summed
+	// over its model runs. Nil unless Options.Metrics was set.
+	Report *metrics.RunReport
 }
 
 // Decomposition returns the §3.2 T&T&S slowdown decomposition, if both
@@ -82,7 +92,8 @@ func (o *Outcome) Decomposition() (stats.Decomposition, bool) {
 	return stats.Decompose(q, t), true
 }
 
-// Options configures a suite run.
+// Options configures a suite run. Zero values select defaults. Construct
+// it directly or with NewOptions and the functional With* options.
 type Options struct {
 	// Scale is the workload scale (1.0 = paper magnitudes). Zero means 1.
 	Scale float64
@@ -93,111 +104,221 @@ type Options struct {
 	// Machine is the base machine configuration; zero value means
 	// machine.DefaultConfig().
 	Machine *machine.Config
+	// Select restricts the run to a validated benchmark subset; the zero
+	// value selects all six.
+	Select suite.Selection
 	// Only restricts the run to the named benchmarks; nil means all six.
+	// Names are validated when the run starts and an unknown one fails
+	// with suite.ErrUnknownBenchmark.
+	//
+	// Deprecated: build a suite.Selection (WithOnly does) instead; it
+	// validates names eagerly.
 	Only []string
 	// Progress, when non-nil, receives one line per step for long runs.
+	// Calls are serialised by the engine, so the callback needs no
+	// locking of its own.
 	Progress func(format string, args ...any)
+	// Metrics enables per-benchmark RunReports on each Outcome.
+	Metrics bool
+	// OnReport, when non-nil, receives the suite-level engine report
+	// (phase times, cache hit rate, worker occupancy) after the run.
+	// Setting it implies Metrics.
+	OnReport func(metrics.SuiteReport)
+	// Workers bounds how many simulations run concurrently; zero selects
+	// GOMAXPROCS.
+	Workers int
 }
 
-func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(format, args...)
+// Option mutates an Options value; see NewOptions.
+type Option func(*Options)
+
+// NewOptions builds an Options from functional options.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithScale sets the workload scale (1.0 = paper magnitudes).
+func WithScale(scale float64) Option { return func(o *Options) { o.Scale = scale } }
+
+// WithSeed sets the generation seed.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithModels selects the machine models to simulate. No models means
+// ideal statistics only.
+func WithModels(models ...Model) Option {
+	return func(o *Options) { o.Models = models }
+}
+
+// WithOnly restricts the run to the named benchmarks. Names are validated
+// when the run starts; unknown ones fail with suite.ErrUnknownBenchmark.
+func WithOnly(names ...string) Option { return func(o *Options) { o.Only = names } }
+
+// WithSelection restricts the run to an already-validated selection.
+func WithSelection(sel suite.Selection) Option {
+	return func(o *Options) { o.Select = sel }
+}
+
+// WithMachine sets the base machine configuration models derive from.
+func WithMachine(cfg machine.Config) Option {
+	return func(o *Options) { o.Machine = &cfg }
+}
+
+// WithProgress sets the per-step progress callback.
+func WithProgress(fn func(format string, args ...any)) Option {
+	return func(o *Options) { o.Progress = fn }
+}
+
+// WithMetrics enables per-benchmark RunReports on each Outcome.
+func WithMetrics() Option { return func(o *Options) { o.Metrics = true } }
+
+// WithReport delivers the suite-level engine report to fn after the run
+// (and implies WithMetrics).
+func WithReport(fn func(metrics.SuiteReport)) Option {
+	return func(o *Options) {
+		o.Metrics = true
+		o.OnReport = fn
 	}
 }
 
-// RunBenchmark generates one benchmark and simulates it under the given
-// models. The same generated trace is replayed for every model, exactly as
-// the paper drives one trace through several simulated machines.
+// WithWorkers bounds how many simulations run concurrently.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// models returns the models to simulate; nil selects all three.
+func (o Options) models() []Model {
+	if o.Models == nil {
+		return []Model{ModelQueue, ModelTTS, ModelWO}
+	}
+	return o.Models
+}
+
+// selection resolves the effective benchmark subset, validating any
+// deprecated Only names.
+func (o Options) selection() (suite.Selection, error) {
+	if !o.Select.All() {
+		return o.Select, nil
+	}
+	return suite.NewSelection(o.Only...)
+}
+
+// RunBenchmarkCtx generates one benchmark and simulates it under the given
+// models, concurrently on the experiment engine. The same generated trace
+// is replayed for every model, exactly as the paper drives one trace
+// through several simulated machines. Cancelling ctx aborts in-flight
+// simulations promptly and returns ctx.Err().
+func RunBenchmarkCtx(ctx context.Context, b suite.Benchmark, opts Options) (*Outcome, error) {
+	outs, err := runMatrix(ctx, []suite.Benchmark{b}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// RunSuiteCtx runs the selected benchmarks under the selected models and
+// returns the outcomes in the paper's table order. The whole (benchmark ×
+// model) matrix is scheduled concurrently over Options.Workers workers;
+// cancelling ctx aborts the run promptly and returns ctx.Err().
+func RunSuiteCtx(ctx context.Context, opts Options) ([]*Outcome, error) {
+	sel, err := opts.selection()
+	if err != nil {
+		return nil, err
+	}
+	return runMatrix(ctx, sel.Benchmarks(), opts)
+}
+
+// RunBenchmark runs a single benchmark without cancellation.
+//
+// Deprecated: use RunBenchmarkCtx.
 func RunBenchmark(b suite.Benchmark, opts Options) (*Outcome, error) {
+	return RunBenchmarkCtx(context.Background(), b, opts)
+}
+
+// RunSuite runs the suite without cancellation.
+//
+// Deprecated: use RunSuiteCtx.
+func RunSuite(opts Options) ([]*Outcome, error) {
+	return RunSuiteCtx(context.Background(), opts)
+}
+
+// runMatrix schedules the (benchmark × model) matrix on the engine and
+// groups the task results back into per-benchmark outcomes.
+func runMatrix(ctx context.Context, benches []suite.Benchmark, opts Options) ([]*Outcome, error) {
 	if opts.Scale == 0 {
 		opts.Scale = 1
 	}
-	models := opts.Models
-	if models == nil {
-		models = []Model{ModelQueue, ModelTTS, ModelWO}
+	if opts.OnReport != nil {
+		opts.Metrics = true
 	}
+	models := opts.models()
 	base := machine.DefaultConfig()
 	if opts.Machine != nil {
 		base = *opts.Machine
 	}
-
 	params := workload.Params{Scale: opts.Scale, Seed: opts.Seed}
-	opts.progress("%s: generating (scale %g)", b.Program.Name(), opts.Scale)
-	set, err := b.Program.Generate(params)
-	if err != nil {
-		return nil, fmt.Errorf("core: generate %s: %w", b.Program.Name(), err)
-	}
 
-	out := &Outcome{
-		Name:    b.Program.Name(),
-		Paper:   b.Paper,
-		Params:  params,
-		Results: make(map[Model]*machine.Result, len(models)),
+	type taskMeta struct {
+		bench     int
+		model     Model
+		idealOnly bool
 	}
-	out.Ideal = trace.AnalyzeIdeal(set, addr.Shared).Summarize()
-
-	// The models replay the same generated trace on independent machines;
-	// run them concurrently over cloned cursors (the underlying compact
-	// trace is shared read-only).
-	type modelResult struct {
-		model Model
-		res   *machine.Result
-		err   error
-	}
-	results := make(chan modelResult, len(models))
-	var wg sync.WaitGroup
-	for _, model := range models {
-		clone, err := trace.Clone(set)
-		if err != nil {
-			return nil, err
-		}
-		opts.progress("%s: simulating %v", b.Program.Name(), model)
-		wg.Add(1)
-		go func(model Model, clone *trace.Set) {
-			defer wg.Done()
-			res, err := machine.Run(clone, model.MachineConfig(base))
-			if err != nil {
-				err = fmt.Errorf("core: simulate %s under %v: %w", b.Program.Name(), model, err)
-			}
-			results <- modelResult{model, res, err}
-		}(model, clone)
-	}
-	wg.Wait()
-	close(results)
-	for r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		out.Results[r.model] = r.res
-	}
-	return out, nil
-}
-
-// RunSuite runs the selected benchmarks under the selected models and
-// returns the outcomes in the paper's table order.
-func RunSuite(opts Options) ([]*Outcome, error) {
-	var outcomes []*Outcome
-	for _, b := range suite.All() {
-		if len(opts.Only) > 0 && !contains(opts.Only, b.Program.Name()) {
+	var (
+		tasks []engine.Task
+		metas []taskMeta
+	)
+	for bi, b := range benches {
+		if len(models) == 0 {
+			// Tables 1-2 need no machine: one ideal-only task per
+			// benchmark still generates and analyses the trace.
+			tasks = append(tasks, engine.Task{
+				Program: b.Program, Params: params, Label: "ideal",
+				IdealOnly: true, Metrics: opts.Metrics,
+			})
+			metas = append(metas, taskMeta{bench: bi, idealOnly: true})
 			continue
 		}
-		o, err := RunBenchmark(b, opts)
-		if err != nil {
-			return nil, err
+		for _, model := range models {
+			tasks = append(tasks, engine.Task{
+				Program: b.Program, Params: params, Label: model.String(),
+				Config: model.MachineConfig(base), Metrics: opts.Metrics,
+			})
+			metas = append(metas, taskMeta{bench: bi, model: model})
 		}
-		outcomes = append(outcomes, o)
 	}
-	if len(outcomes) == 0 {
-		return nil, fmt.Errorf("core: no benchmarks selected (have %v)", suite.Names())
-	}
-	return outcomes, nil
-}
 
-func contains(names []string, name string) bool {
-	for _, n := range names {
-		if n == name {
-			return true
+	eng := engine.New(engine.Config{Workers: opts.Workers, Progress: opts.Progress})
+	results, report, err := eng.Run(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	outs := make([]*Outcome, len(benches))
+	for bi, b := range benches {
+		outs[bi] = &Outcome{
+			Name:    b.Program.Name(),
+			Paper:   b.Paper,
+			Params:  params,
+			Results: make(map[Model]*machine.Result, len(models)),
+		}
+		if opts.Metrics {
+			outs[bi].Report = &metrics.RunReport{}
 		}
 	}
-	return false
+	for i, r := range results {
+		meta := metas[i]
+		o := outs[meta.bench]
+		o.Ideal = r.Ideal
+		if !meta.idealOnly {
+			o.Results[meta.model] = r.Result
+		}
+		if opts.Metrics {
+			o.Report.Add(r.Report)
+		}
+	}
+	if opts.OnReport != nil {
+		opts.OnReport(report)
+	}
+	return outs, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -119,8 +120,11 @@ func TestRunSuiteOnly(t *testing.T) {
 
 func TestRunSuiteUnknownOnly(t *testing.T) {
 	_, err := RunSuite(Options{Scale: 0.02, Only: []string{"Nope"}})
-	if err == nil || !strings.Contains(err.Error(), "no benchmarks") {
-		t.Fatalf("err = %v", err)
+	if !errors.Is(err, suite.ErrUnknownBenchmark) {
+		t.Fatalf("err = %v, want wrapped suite.ErrUnknownBenchmark", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "Nope") {
+		t.Fatalf("err = %v, want the offending name", err)
 	}
 }
 

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
+	"syncsim/internal/workload/suite"
+)
+
+func TestNewOptionsFunctional(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.BufDepth = 2
+	var progressed bool
+	sel, err := suite.NewSelection("Qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOptions(
+		WithScale(0.25),
+		WithSeed(7),
+		WithModels(ModelQueue, ModelWO),
+		WithOnly("Grav", "Pdsa"),
+		WithSelection(sel),
+		WithMachine(cfg),
+		WithProgress(func(string, ...any) { progressed = true }),
+		WithMetrics(),
+		WithWorkers(3),
+	)
+	if o.Scale != 0.25 || o.Seed != 7 || o.Workers != 3 || !o.Metrics {
+		t.Errorf("options = %+v", o)
+	}
+	if len(o.Models) != 2 || o.Models[0] != ModelQueue || o.Models[1] != ModelWO {
+		t.Errorf("models = %v", o.Models)
+	}
+	if o.Machine == nil || o.Machine.BufDepth != 2 {
+		t.Error("WithMachine not applied")
+	}
+	if len(o.Only) != 2 {
+		t.Errorf("only = %v", o.Only)
+	}
+	if o.Select.All() {
+		t.Error("WithSelection not applied")
+	}
+	o.Progress("x")
+	if !progressed {
+		t.Error("WithProgress not applied")
+	}
+}
+
+func TestRunSuiteCtxSelectionPrecedence(t *testing.T) {
+	// An explicit Selection wins over the deprecated Only names.
+	sel, err := suite.NewSelection("Topopt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := RunSuiteCtx(context.Background(), Options{
+		Scale: 0.01, Select: sel, Only: []string{"Grav"}, Models: []Model{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Name != "Topopt" {
+		t.Fatalf("outcomes = %v", names(outs))
+	}
+}
+
+func TestRunBenchmarkCtxMetricsReport(t *testing.T) {
+	b, err := suite.ByName("Qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suiteRep metrics.SuiteReport
+	out, err := RunBenchmarkCtx(context.Background(), b, NewOptions(
+		WithScale(0.02),
+		WithSeed(1),
+		WithReport(func(r metrics.SuiteReport) { suiteRep = r }),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report == nil {
+		t.Fatal("Outcome.Report missing despite WithReport")
+	}
+	if out.Report.Runs != 3 {
+		t.Errorf("report runs = %d, want 3 (one per model)", out.Report.Runs)
+	}
+	if out.Report.CacheHits != 2 {
+		t.Errorf("report cache hits = %d, want 2 (trace generated once, replayed thrice)", out.Report.CacheHits)
+	}
+	if out.Report.Generate == 0 || out.Report.Simulate == 0 {
+		t.Errorf("report phases empty: %+v", out.Report)
+	}
+	if out.Report.SimCycles == 0 || out.Report.Throughput() == 0 {
+		t.Errorf("report throughput empty: %+v", out.Report)
+	}
+	if suiteRep.Tasks != 3 || suiteRep.CacheMisses != 1 || suiteRep.CacheHits != 2 {
+		t.Errorf("suite report = %+v", suiteRep)
+	}
+}
+
+func TestRunSuiteCtxNoMetricsByDefault(t *testing.T) {
+	outs, err := RunSuiteCtx(context.Background(), Options{
+		Scale: 0.01, Only: []string{"Topopt"}, Models: []Model{ModelQueue},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Report != nil {
+		t.Error("Report attached without Options.Metrics")
+	}
+}
+
+func TestRunSuiteCtxUnknownSelection(t *testing.T) {
+	_, err := RunSuiteCtx(context.Background(), NewOptions(WithOnly("Nope")))
+	if !errors.Is(err, suite.ErrUnknownBenchmark) {
+		t.Fatalf("err = %v, want wrapped suite.ErrUnknownBenchmark", err)
+	}
+}
+
+func TestRunSuiteCtxCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel once the engine reports a simulation underway, so the test
+	// exercises mid-simulation interruption rather than racing generation.
+	simStarted := make(chan struct{})
+	var simOnce sync.Once
+	opts := Options{Scale: 0.2, Seed: 1, Progress: func(format string, args ...any) {
+		if strings.Contains(format, "simulating") {
+			simOnce.Do(func() { close(simStarted) })
+		}
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunSuiteCtx(ctx, opts)
+		done <- err
+	}()
+	select {
+	case <-simStarted:
+	case err := <-done:
+		t.Fatalf("RunSuiteCtx returned before simulating: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("no simulation started within 60s")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunSuiteCtx did not return within 10s of cancellation")
+	}
+	// goleak-style check: every engine worker must have exited.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+func TestWorkerCountDoesNotChangeOutcomes(t *testing.T) {
+	run := func(workers int) []*Outcome {
+		t.Helper()
+		outs, err := RunSuiteCtx(context.Background(), Options{
+			Scale: 0.02, Seed: 1, Only: []string{"Qsort", "Topopt"}, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	seq := run(1)
+	par := run(4)
+	for i := range seq {
+		if seq[i].Name != par[i].Name {
+			t.Fatalf("outcome order differs: %v vs %v", names(seq), names(par))
+		}
+		if seq[i].Ideal != par[i].Ideal {
+			t.Errorf("%s: ideal stats differ across worker counts", seq[i].Name)
+		}
+		for _, m := range []Model{ModelQueue, ModelTTS, ModelWO} {
+			if seq[i].Results[m].RunTime != par[i].Results[m].RunTime {
+				t.Errorf("%s/%v: run-time differs across worker counts", seq[i].Name, m)
+			}
+		}
+	}
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// MaxCycles aborts the run if the simulated clock exceeds it
 	// (deadlock guard). Zero means no limit.
 	MaxCycles uint64
+	// CancelEvery is the simulation-loop iteration interval at which
+	// RunCtx polls its context for cancellation or deadline expiry. The
+	// check is kept off the per-cycle hot path; zero selects a coarse
+	// default (8192 iterations, well under a millisecond of wall time).
+	CancelEvery uint64
 	// ProgressWindow aborts the run if no component makes progress for
 	// this many consecutive cycles. Zero selects a generous default.
 	ProgressWindow uint64

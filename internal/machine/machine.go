@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"syncsim/internal/bus"
@@ -110,24 +111,50 @@ func (m *Machine) memRequester() int { return len(m.cpus) }
 
 // Run simulates the machine to completion and returns the results.
 func Run(set *trace.Set, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), set, cfg)
+}
+
+// RunCtx simulates the machine to completion, polling ctx for cancellation
+// at a coarse iteration interval (Config.CancelEvery) so long runs can be
+// cancelled or deadlined without per-cycle overhead.
+func RunCtx(ctx context.Context, set *trace.Set, cfg Config) (*Result, error) {
 	m, err := New(set, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunCtx(ctx)
 }
 
 // Run drives the machine until every processor has retired its trace.
-func (m *Machine) Run() (*Result, error) {
+func (m *Machine) Run() (*Result, error) { return m.RunCtx(context.Background()) }
+
+// RunCtx drives the machine until every processor has retired its trace or
+// ctx is done, whichever comes first. Cancellation returns a wrapped
+// ctx.Err() (errors.Is-able against context.Canceled / DeadlineExceeded).
+func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 	const defaultProgressWindow = 1 << 20
 	window := m.cfg.ProgressWindow
 	if window == 0 {
 		window = defaultProgressWindow
 	}
+	checkEvery := m.cfg.CancelEvery
+	if checkEvery == 0 {
+		checkEvery = 1 << 13
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
+	}
 	idleIters := uint64(0)
+	sinceCheck := uint64(0)
 	for {
 		if m.allDone() {
 			break
+		}
+		if sinceCheck++; sinceCheck >= checkEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
+			}
 		}
 		if m.cfg.MaxCycles > 0 && m.now > m.cfg.MaxCycles {
 			return nil, fmt.Errorf("machine: %s exceeded MaxCycles=%d: %s",

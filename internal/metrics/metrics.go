@@ -1,0 +1,152 @@
+// Package metrics is the experiment engine's lightweight observability
+// layer: a registry of named counters and phase timers that concurrent
+// workers update without contention (atomics only on the hot path), plus
+// the report types the engine surfaces — a per-run RunReport (where did
+// this benchmark's wall time go?) and a suite-level SuiteReport (cache
+// effectiveness, worker occupancy, aggregate simulation throughput).
+//
+// The package deliberately knows nothing about traces or machines; it
+// deals only in durations and counts, so every layer of the system can
+// depend on it.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjusted integer metric. The zero value is
+// ready to use and safe for concurrent update.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Timer accumulates observed durations. The zero value is ready to use
+// and safe for concurrent update.
+type Timer struct {
+	totalNS atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.totalNS.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Time runs fn and records how long it took.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Total returns the summed observed duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.totalNS.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Avg returns the mean observed duration, or zero with no observations.
+func (t *Timer) Avg() time.Duration {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.totalNS.Load() / n)
+}
+
+// Registry is a get-or-create namespace of counters and timers. Metric
+// handles are stable: callers may cache them and update lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// TimerValue is a timer's state at snapshot time.
+type TimerValue struct {
+	Total time.Duration
+	Count int64
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.
+type Snapshot struct {
+	Counters map[string]int64
+	Timers   map[string]TimerValue
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Timers:   make(map[string]TimerValue, len(r.timers)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = TimerValue{Total: t.Total(), Count: t.Count()}
+	}
+	return s
+}
+
+// String renders the snapshot as sorted "name value" lines.
+func (s Snapshot) String() string {
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, t := range s.Timers {
+		lines = append(lines, fmt.Sprintf("%s %v/%d", name, t.Total, t.Count))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

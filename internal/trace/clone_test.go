@@ -1,0 +1,45 @@
+package trace
+
+import "testing"
+
+func TestSetCloneMethod(t *testing.T) {
+	set := BufferSet("m", [][]Event{
+		{Exec(10), Read(0x80000000)},
+		{Exec(5)},
+	})
+	clone, err := set.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the original fully; the clone must still replay from the start.
+	Drain(set.Sources[0])
+	evs := Drain(clone.Sources[0])
+	if len(evs) != 2 || evs[1].Addr != 0x80000000 {
+		t.Errorf("clone replay = %v", evs)
+	}
+}
+
+func TestSetEvents(t *testing.T) {
+	set := BufferSet("m", [][]Event{
+		{Exec(10), Read(0x80000000)},
+		{Exec(5)},
+	})
+	n, ok := set.Events()
+	if !ok || n != 3 {
+		t.Errorf("Events() = %d, %v; want 3, true", n, ok)
+	}
+
+	var c Compact
+	c.Add(Exec(7))
+	c.Add(Write(0x80000010))
+	cset := CompactSet("c", []*Compact{&c})
+	n, ok = cset.Events()
+	if !ok || n != 2 {
+		t.Errorf("compact Events() = %d, %v; want 2, true", n, ok)
+	}
+
+	lazy := &Set{Name: "lazy", Sources: []Source{Func(func() (Event, bool) { return Event{}, false })}}
+	if _, ok := lazy.Events(); ok {
+		t.Error("lazy source must report Events() ok=false")
+	}
+}

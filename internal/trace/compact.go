@@ -102,6 +102,9 @@ func (s *CompactSource) Next() (Event, bool) {
 // positioned at the first event. The underlying buffer is shared read-only.
 func (s *CompactSource) CloneSource() Source { return s.c.NewSource() }
 
+// Len returns the total number of events in the underlying compact trace.
+func (s *CompactSource) Len() int { return s.c.n }
+
 // Rewind repositions the cursor at the first event.
 func (s *CompactSource) Rewind() {
 	s.pos = 0

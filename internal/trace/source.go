@@ -104,6 +104,25 @@ func BufferSet(name string, cpus [][]Event) *Set {
 	return set
 }
 
+// Clone builds an independent cursor set over the same underlying traces;
+// it is shorthand for the package-level Clone.
+func (s *Set) Clone() (*Set, error) { return Clone(s) }
+
+// Events returns the total number of events across all sources, when every
+// source can report its length (Buffer and CompactSource can; lazily
+// generated sources cannot, and ok is false).
+func (s *Set) Events() (n int, ok bool) {
+	type lenner interface{ Len() int }
+	for _, src := range s.Sources {
+		l, canLen := src.(lenner)
+		if !canLen {
+			return 0, false
+		}
+		n += l.Len()
+	}
+	return n, true
+}
+
 // Rewinder is implemented by replayable sources (Buffer, CompactSource).
 type Rewinder interface {
 	Rewind()

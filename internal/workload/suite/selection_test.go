@@ -1,0 +1,70 @@
+package suite
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestSelectionZeroValueSelectsAll(t *testing.T) {
+	var s Selection
+	if !s.All() {
+		t.Error("zero Selection should select all")
+	}
+	if !reflect.DeepEqual(s.Names(), Names()) {
+		t.Errorf("Names() = %v, want full suite", s.Names())
+	}
+	if len(s.Benchmarks()) != 6 {
+		t.Errorf("Benchmarks() = %d entries, want 6", len(s.Benchmarks()))
+	}
+	if !s.Contains("Grav") || !s.Contains("Topopt") {
+		t.Error("zero Selection should contain every benchmark")
+	}
+}
+
+func TestNewSelectionEmptyIsAll(t *testing.T) {
+	s, err := NewSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.All() {
+		t.Error("NewSelection() with no names should select all")
+	}
+}
+
+func TestNewSelectionValidatesEagerly(t *testing.T) {
+	_, err := NewSelection("Grav", "Nope")
+	if !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("err = %v, want wrapped ErrUnknownBenchmark", err)
+	}
+}
+
+func TestNewSelectionTableOrder(t *testing.T) {
+	// Given out of order and with a duplicate; Names must come back in the
+	// paper's table order, deduplicated.
+	s, err := NewSelection("Topopt", "Grav", "Grav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.All() {
+		t.Error("restricted selection reports All")
+	}
+	want := []string{"Grav", "Topopt"}
+	if !reflect.DeepEqual(s.Names(), want) {
+		t.Errorf("Names() = %v, want %v", s.Names(), want)
+	}
+	b := s.Benchmarks()
+	if len(b) != 2 || b[0].Program.Name() != "Grav" || b[1].Program.Name() != "Topopt" {
+		t.Errorf("Benchmarks() order wrong: %v", s.Names())
+	}
+	if s.Contains("Pdsa") {
+		t.Error("unselected benchmark reported as contained")
+	}
+}
+
+func TestByNameWrapsSentinel(t *testing.T) {
+	_, err := ByName("Bogus")
+	if !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("ByName err = %v, want wrapped ErrUnknownBenchmark", err)
+	}
+}

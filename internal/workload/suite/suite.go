@@ -4,6 +4,7 @@
 package suite
 
 import (
+	"errors"
 	"fmt"
 
 	"syncsim/internal/workload"
@@ -66,6 +67,10 @@ func All() []Benchmark {
 	}
 }
 
+// ErrUnknownBenchmark is returned (wrapped) when a benchmark name does not
+// match any of the suite's six programs. Test with errors.Is.
+var ErrUnknownBenchmark = errors.New("unknown benchmark")
+
 // ByName returns the benchmark with the given (case-sensitive) name.
 func ByName(name string) (Benchmark, error) {
 	for _, b := range All() {
@@ -73,7 +78,66 @@ func ByName(name string) (Benchmark, error) {
 			return b, nil
 		}
 	}
-	return Benchmark{}, fmt.Errorf("suite: unknown benchmark %q", name)
+	return Benchmark{}, fmt.Errorf("suite: %w %q (have %v)", ErrUnknownBenchmark, name, Names())
+}
+
+// Selection is a validated subset of the benchmark suite. The zero value
+// selects every benchmark. Build restricted selections with NewSelection,
+// which rejects unknown names eagerly — callers learn about a typo before
+// any trace is generated, not after a partial run.
+type Selection struct {
+	names map[string]bool // nil = all benchmarks
+}
+
+// NewSelection builds a selection of the named benchmarks. Every name must
+// match a suite benchmark exactly; otherwise it returns a wrapped
+// ErrUnknownBenchmark. No names selects every benchmark.
+func NewSelection(names ...string) (Selection, error) {
+	if len(names) == 0 {
+		return Selection{}, nil
+	}
+	valid := make(map[string]bool)
+	for _, n := range Names() {
+		valid[n] = true
+	}
+	sel := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !valid[n] {
+			return Selection{}, fmt.Errorf("suite: %w %q (have %v)", ErrUnknownBenchmark, n, Names())
+		}
+		sel[n] = true
+	}
+	return Selection{names: sel}, nil
+}
+
+// All reports whether the selection covers the whole suite.
+func (s Selection) All() bool { return s.names == nil }
+
+// Contains reports whether the named benchmark is selected.
+func (s Selection) Contains(name string) bool {
+	return s.names == nil || s.names[name]
+}
+
+// Names lists the selected benchmark names in the paper's table order.
+func (s Selection) Names() []string {
+	var out []string
+	for _, n := range Names() {
+		if s.Contains(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Benchmarks returns the selected benchmarks in the paper's table order.
+func (s Selection) Benchmarks() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if s.Contains(b.Program.Name()) {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Names lists the benchmark names in table order.

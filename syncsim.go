@@ -17,17 +17,26 @@
 //
 // Quick start:
 //
-//	outs, err := syncsim.RunSuite(syncsim.Options{Scale: 0.1})
+//	outs, err := syncsim.RunSuiteCtx(ctx, syncsim.WithScale(0.1))
 //	if err != nil { ... }
 //	fmt.Println(syncsim.AllTables(outs))
+//
+// Suite runs execute on a concurrent experiment engine: the (benchmark ×
+// model) matrix is scheduled over a bounded worker pool, generated traces
+// are memoised so every model replays the same trace, and runs are
+// cancellable through the context. The struct-based RunSuite/RunBenchmark
+// entry points remain as deprecated wrappers.
 package syncsim
 
 import (
+	"context"
+
 	"syncsim/internal/bus"
 	"syncsim/internal/cache"
 	"syncsim/internal/core"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
 	"syncsim/internal/stats"
 	"syncsim/internal/tables"
 	"syncsim/internal/trace"
@@ -131,6 +140,12 @@ func Simulate(set *TraceSet, cfg MachineConfig) (*MachineResult, error) {
 	return machine.Run(set, cfg)
 }
 
+// SimulateCtx runs a trace set on a machine, polling ctx at a coarse
+// interval so long simulations can be cancelled or deadlined.
+func SimulateCtx(ctx context.Context, set *TraceSet, cfg MachineConfig) (*MachineResult, error) {
+	return machine.RunCtx(ctx, set, cfg)
+}
+
 // Workloads.
 type (
 	// WorkloadParams parameterises benchmark generation.
@@ -157,13 +172,54 @@ func SharedAddr(a uint32) bool { return addr.Shared(a) }
 type (
 	// Options configures a suite run.
 	Options = core.Options
+	// Option is a functional option for RunSuiteCtx / RunBenchmarkCtx.
+	Option = core.Option
 	// Model names one of the paper's three machine configurations.
 	Model = core.Model
 	// Outcome is one benchmark's measurements.
 	Outcome = core.Outcome
 	// Decomposition is the §3.2 T&T&S slowdown decomposition.
 	Decomposition = stats.Decomposition
+	// Selection is a validated benchmark subset (zero value = all).
+	Selection = suite.Selection
+	// RunReport breaks down one benchmark's wall time by phase.
+	RunReport = metrics.RunReport
+	// SuiteReport summarises a whole engine run (phase times, trace-cache
+	// hit rate, worker occupancy, simulation throughput).
+	SuiteReport = metrics.SuiteReport
 )
+
+// Functional options for RunSuiteCtx / RunBenchmarkCtx.
+var (
+	// WithScale sets the workload scale (1.0 = paper magnitudes).
+	WithScale = core.WithScale
+	// WithSeed sets the generation seed.
+	WithSeed = core.WithSeed
+	// WithModels selects the machine models to simulate.
+	WithModels = core.WithModels
+	// WithOnly restricts the run to the named benchmarks.
+	WithOnly = core.WithOnly
+	// WithSelection restricts the run to a validated Selection.
+	WithSelection = core.WithSelection
+	// WithMachine sets the base machine configuration.
+	WithMachine = core.WithMachine
+	// WithProgress sets the per-step progress callback.
+	WithProgress = core.WithProgress
+	// WithMetrics attaches a RunReport to every Outcome.
+	WithMetrics = core.WithMetrics
+	// WithReport delivers the suite-level SuiteReport after the run.
+	WithReport = core.WithReport
+	// WithWorkers bounds how many simulations run concurrently.
+	WithWorkers = core.WithWorkers
+)
+
+// NewSelection builds a validated benchmark subset; unknown names fail
+// with ErrUnknownBenchmark.
+func NewSelection(names ...string) (Selection, error) { return suite.NewSelection(names...) }
+
+// ErrUnknownBenchmark is wrapped into errors for benchmark names that do
+// not exist; test with errors.Is.
+var ErrUnknownBenchmark = suite.ErrUnknownBenchmark
 
 // Experiment models.
 const (
@@ -175,10 +231,26 @@ const (
 	ModelWO = core.ModelWO
 )
 
+// RunSuiteCtx runs the benchmark suite on the concurrent experiment
+// engine. Cancelling ctx aborts in-flight simulations promptly.
+func RunSuiteCtx(ctx context.Context, opts ...Option) ([]*Outcome, error) {
+	return core.RunSuiteCtx(ctx, core.NewOptions(opts...))
+}
+
+// RunBenchmarkCtx runs a single benchmark under the selected models,
+// concurrently and cancellably.
+func RunBenchmarkCtx(ctx context.Context, b Benchmark, opts ...Option) (*Outcome, error) {
+	return core.RunBenchmarkCtx(ctx, b, core.NewOptions(opts...))
+}
+
 // RunSuite runs the benchmark suite under the selected models.
+//
+// Deprecated: use RunSuiteCtx with functional options.
 func RunSuite(opts Options) ([]*Outcome, error) { return core.RunSuite(opts) }
 
 // RunBenchmark runs a single benchmark under the selected models.
+//
+// Deprecated: use RunBenchmarkCtx with functional options.
 func RunBenchmark(b Benchmark, opts Options) (*Outcome, error) {
 	return core.RunBenchmark(b, opts)
 }

@@ -1,6 +1,8 @@
 package syncsim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -81,6 +83,85 @@ func TestFacadeRunSuiteAndTables(t *testing.T) {
 		t.Error("decomposition missing")
 	} else if dec.QueueRunTime == 0 {
 		t.Error("decomposition empty")
+	}
+}
+
+func TestFacadeRunSuiteCtxFunctionalOptions(t *testing.T) {
+	var rep SuiteReport
+	outs, err := RunSuiteCtx(context.Background(),
+		WithScale(0.02),
+		WithSeed(1),
+		WithOnly("Qsort"),
+		WithModels(ModelQueue),
+		WithWorkers(2),
+		WithReport(func(r SuiteReport) { rep = r }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Name != "Qsort" {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	if outs[0].Report == nil || outs[0].Report.Runs != 1 {
+		t.Errorf("outcome report = %+v", outs[0].Report)
+	}
+	if rep.Tasks != 1 || rep.Simulate == 0 {
+		t.Errorf("suite report = %+v", rep)
+	}
+}
+
+func TestFacadeRunBenchmarkCtx(t *testing.T) {
+	b, err := BenchmarkByName("Topopt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunBenchmarkCtx(context.Background(), b,
+		WithScale(0.01), WithModels(ModelQueue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[ModelQueue].RunTime == 0 {
+		t.Error("zero run-time")
+	}
+	if out.Report != nil {
+		t.Error("report attached without WithMetrics")
+	}
+}
+
+func TestFacadeSelectionAndSentinel(t *testing.T) {
+	if _, err := NewSelection("Grav", "Nope"); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("NewSelection err = %v, want ErrUnknownBenchmark", err)
+	}
+	sel, err := NewSelection("Grav")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.All() || !sel.Contains("Grav") || sel.Contains("Pdsa") {
+		t.Error("selection semantics wrong")
+	}
+	if _, err := RunSuiteCtx(context.Background(), WithOnly("Bogus")); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("RunSuiteCtx err = %v, want ErrUnknownBenchmark", err)
+	}
+}
+
+func TestFacadeSimulateCtx(t *testing.T) {
+	cpus := [][]Event{
+		{Lock(0, 0xF0000000), Exec(50), Unlock(0, 0xF0000000)},
+		{Lock(0, 0xF0000000), Exec(50), Unlock(0, 0xF0000000)},
+	}
+	set := BufferTraceSet("ctx", cpus)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SimulateCtx(ctx, set, DefaultMachineConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SimulateCtx err = %v", err)
+	}
+	set = BufferTraceSet("ctx", cpus)
+	res, err := SimulateCtx(context.Background(), set, DefaultMachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locks.Acquisitions != 2 {
+		t.Errorf("acquisitions = %d", res.Locks.Acquisitions)
 	}
 }
 
