@@ -299,6 +299,32 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkCheckerOverhead measures what the runtime invariant checker
+// (machine.Config.Check) costs on a representative contended workload: the
+// "off" and "on" sub-benchmarks simulate the same trace, so their ratio is
+// the checker's overhead.
+func BenchmarkCheckerOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		check bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := machine.DefaultConfig()
+			cfg.Check = mode.check
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				set := benchTrace(b, "Grav")
+				res, err := machine.Run(set, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.RunTime
+			}
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simCycles/s")
+		})
+	}
+}
+
 // BenchmarkGeneration measures workload generation speed.
 func BenchmarkGeneration(b *testing.B) {
 	for _, bench := range suite.All() {

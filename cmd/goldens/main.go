@@ -1,0 +1,94 @@
+// Command goldens maintains the committed golden-results corpus: small-scale
+// regression snapshots of the metrics behind the paper's Tables 1-8, one
+// JSON file per benchmark covering all three machine models.
+//
+// Usage:
+//
+//	goldens              # verify: recompute and diff against the corpus; exit 1 on drift
+//	goldens -update      # regenerate the corpus (reviewed drift approval)
+//	goldens -only Grav   # restrict to a benchmark subset
+//
+// CI runs the verify mode, so any change to simulated results must land
+// together with a regenerated corpus — unapproved drift fails the build.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+
+	"syncsim/internal/check"
+	"syncsim/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "internal/check/testdata/goldens", "corpus directory")
+	update := flag.Bool("update", false, "regenerate the corpus instead of verifying it")
+	scale := flag.Float64("scale", check.GoldenScale, "workload scale")
+	seed := flag.Int64("seed", check.GoldenSeed, "generation seed")
+	only := flag.String("only", "", "comma-separated benchmark subset")
+	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := core.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	outs, err := core.RunSuiteCtx(ctx, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *update {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal("%v", err)
+		}
+		for _, o := range outs {
+			g := check.Compute(o)
+			path := filepath.Join(*dir, check.GoldenFile(o.Name))
+			if err := check.Save(path, g); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return
+	}
+
+	drifted := false
+	for _, o := range outs {
+		got := check.Compute(o)
+		path := filepath.Join(*dir, check.GoldenFile(o.Name))
+		want, err := check.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goldens: %s: %v (run with -update to create)\n", o.Name, err)
+			drifted = true
+			continue
+		}
+		diffs := check.Compare(got, want)
+		if len(diffs) == 0 {
+			fmt.Printf("ok   %s\n", o.Name)
+			continue
+		}
+		drifted = true
+		fmt.Fprintf(os.Stderr, "DRIFT %s:\n", o.Name)
+		for _, d := range diffs {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+	}
+	if drifted {
+		fmt.Fprintln(os.Stderr, "goldens: drift detected; review and rerun with -update to approve")
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "goldens: "+format+"\n", args...)
+	os.Exit(1)
+}

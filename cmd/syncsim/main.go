@@ -7,6 +7,7 @@
 //	syncsim -bench Grav [-scale 0.2] [-lock queue|tts] [-cons sc|wo] [-ncpu N] [-seed N]
 //	syncsim -trace prog.trc [-lock tts] [-cons wo]
 //	syncsim -bench Pdsa -metrics   # per-phase wall time and throughput
+//	syncsim -bench Qsort -check    # run with the invariant checker enabled
 //	syncsim -arch      # print the modelled architecture (the paper's Figure 1)
 //
 // Interrupting a run (Ctrl-C) cancels the simulation promptly.
@@ -60,6 +61,7 @@ func main() {
 	lock := flag.String("lock", "queue", "lock algorithm: queue, tts, queue-exact, tts-backoff")
 	cons := flag.String("cons", "sc", "consistency model: sc or wo")
 	bufDepth := flag.Int("buf", 4, "cache-bus buffer depth")
+	checkRun := flag.Bool("check", false, "enable the runtime invariant checker (coherence, bus conservation, lock fairness); roughly 1.5x slower")
 	arch := flag.Bool("arch", false, "print the modelled architecture and exit")
 	perCPU := flag.Bool("percpu", false, "print per-processor details")
 	showMetrics := flag.Bool("metrics", false, "print the per-phase run report (generate/analyze/simulate wall time, throughput)")
@@ -74,6 +76,7 @@ func main() {
 
 	cfg := machine.DefaultConfig()
 	cfg.BufDepth = *bufDepth
+	cfg.Check = *checkRun
 	switch *lock {
 	case "queue":
 		cfg.Lock = locks.Queue
@@ -158,6 +161,9 @@ func main() {
 	fmt.Printf("  bus:      %.1f%% utilised (%d transactions)\n",
 		100*res.BusUtilization(), res.Bus.Total())
 	fmt.Printf("  memory:   %d reads, %d writes\n", res.Memory.Reads, res.Memory.Writes)
+	if *checkRun {
+		fmt.Println("  check:    all invariants held")
+	}
 	if res.DroppedWriteBacks > 0 {
 		fmt.Printf("  note:     %d write-backs dropped (buffer-full corner)\n", res.DroppedWriteBacks)
 	}

@@ -73,6 +73,9 @@ func (t Timing) Duration(op Op) uint64 {
 type Stats struct {
 	BusyCycles uint64
 	Grants     [numOps]uint64
+	// ExtraCycles is the busy time beyond each op's base duration
+	// (piggybacked transfers passed through Occupy's extra argument).
+	ExtraCycles uint64
 }
 
 // Count returns the number of transactions of the given op.
@@ -90,6 +93,23 @@ func (s *Stats) Total() uint64 {
 		n += g
 	}
 	return n
+}
+
+// CheckConservation verifies the bus-cycle accounting identity: every busy
+// cycle must be explained by a granted transaction's base duration under the
+// given timing plus the recorded extra cycles. A mismatch means a grant was
+// recorded without its occupancy (or vice versa).
+func (s *Stats) CheckConservation(t Timing) error {
+	var want uint64
+	for op, n := range s.Grants {
+		want += n * t.Duration(Op(op))
+	}
+	want += s.ExtraCycles
+	if want != s.BusyCycles {
+		return fmt.Errorf("bus: cycle conservation violated: %d busy cycles, but grants account for %d (%d extra)",
+			s.BusyCycles, want, s.ExtraCycles)
+	}
+	return nil
 }
 
 // Utilization returns busy cycles over elapsed cycles.
@@ -172,5 +192,6 @@ func (b *Bus) Occupy(requester int, op Op, now, extra uint64) uint64 {
 	b.holder = requester
 	b.stats.BusyCycles += dur
 	b.stats.Grants[op]++
+	b.stats.ExtraCycles += extra
 	return b.busyUntil
 }

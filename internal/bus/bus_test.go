@@ -194,3 +194,56 @@ func TestOpString(t *testing.T) {
 		t.Error("invalid op prints empty")
 	}
 }
+
+func TestUtilizationTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		busy    uint64
+		elapsed uint64
+		want    float64
+	}{
+		{"zero elapsed", 10, 0, 0},
+		{"zero busy", 0, 100, 0},
+		{"half", 50, 100, 0.5},
+		{"saturated", 100, 100, 1},
+		{"both zero", 0, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := Stats{BusyCycles: tt.busy}
+			if got := s.Utilization(tt.elapsed); got != tt.want {
+				t.Errorf("Utilization(%d) with busy %d = %v, want %v",
+					tt.elapsed, tt.busy, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckConservation(t *testing.T) {
+	tm := DefaultTiming()
+	b := New(2, tm)
+	now := b.Occupy(0, OpRead, 0, 0)
+	now = b.Occupy(1, OpResponse, now, 0)
+	now = b.Occupy(0, OpWriteBack, now, 0)
+	b.Occupy(1, OpCacheToCache, now, 2) // piggybacked extra cycles
+	if err := b.Stats().CheckConservation(tm); err != nil {
+		t.Errorf("conservation violated on clean run: %v", err)
+	}
+	if b.Stats().ExtraCycles != 2 {
+		t.Errorf("ExtraCycles = %d, want 2", b.Stats().ExtraCycles)
+	}
+
+	// A grant recorded without its occupancy must be flagged.
+	bad := *b.Stats()
+	bad.Grants[OpInvalidate]++
+	if err := bad.CheckConservation(tm); err == nil {
+		t.Error("conservation not violated after phantom grant")
+	}
+
+	// Busy cycles with no grant behind them must be flagged too.
+	bad = *b.Stats()
+	bad.BusyCycles += 3
+	if err := bad.CheckConservation(tm); err == nil {
+		t.Error("conservation not violated after phantom busy cycles")
+	}
+}

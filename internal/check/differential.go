@@ -1,0 +1,183 @@
+// Package check is the validation subsystem: a differential harness that
+// runs the cycle-level machine (with its runtime invariant checker enabled)
+// against the independent oracle interpreter and diffs what both must agree
+// on, plus the golden-results regression corpus pinning the paper tables'
+// small-scale outputs in CI.
+package check
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"syncsim/internal/machine"
+	"syncsim/internal/oracle"
+	"syncsim/internal/trace"
+)
+
+// Divergence is one disagreement between the machine and the oracle.
+type Divergence struct {
+	Field   string
+	Machine string
+	Oracle  string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: machine=%s oracle=%s", d.Field, d.Machine, d.Oracle)
+}
+
+// Report is the outcome of one differential run.
+type Report struct {
+	Name         string
+	MachineError error
+	OracleError  error
+	Divergences  []Divergence
+
+	// Machine and Oracle hold the raw results when the respective run
+	// succeeded.
+	Machine *machine.Result
+	Oracle  *oracle.Result
+}
+
+// Ok reports whether both runs succeeded and agreed on everything checked.
+func (r *Report) Ok() bool {
+	return r.MachineError == nil && r.OracleError == nil && len(r.Divergences) == 0
+}
+
+// Consistent is Ok, or both runs failing (a trace that deadlocks must
+// deadlock both implementations; only one-sided failure is a divergence).
+func (r *Report) Consistent() bool {
+	if r.MachineError != nil && r.OracleError != nil {
+		return true
+	}
+	return r.Ok()
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential %s:", r.Name)
+	if r.Ok() {
+		b.WriteString(" ok")
+		return b.String()
+	}
+	if r.MachineError != nil {
+		fmt.Fprintf(&b, "\n  machine error: %v", r.MachineError)
+	}
+	if r.OracleError != nil {
+		fmt.Fprintf(&b, "\n  oracle error: %v", r.OracleError)
+	}
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "\n  %s", d)
+	}
+	return b.String()
+}
+
+func (r *Report) diverge(field string, machineVal, oracleVal any) {
+	r.Divergences = append(r.Divergences, Divergence{
+		Field:   field,
+		Machine: fmt.Sprint(machineVal),
+		Oracle:  fmt.Sprint(oracleVal),
+	})
+}
+
+// Differential runs the trace set on the fast machine (invariant checker
+// forced on) and on the oracle, and diffs everything the two independent
+// implementations must agree on: per-CPU work cycles, reference and lock-op
+// counts, total and per-lock acquisition counts, barrier episodes, and
+// final lock ownership. Hold times and finish times are checked as lower
+// bounds: the machine, which adds miss and bus stalls, can never run
+// faster than the oracle's ideal clock. Run failures are folded into the
+// report; only a set that cannot be cloned returns an error.
+func Differential(ctx context.Context, set *trace.Set, cfg machine.Config) (*Report, error) {
+	mset, err := trace.Clone(set)
+	if err != nil {
+		return nil, fmt.Errorf("check: cloning %q for the machine: %w", set.Name, err)
+	}
+	oset, err := trace.Clone(set)
+	if err != nil {
+		return nil, fmt.Errorf("check: cloning %q for the oracle: %w", set.Name, err)
+	}
+	cfg.Check = true
+	rep := &Report{Name: set.Name}
+	rep.Machine, rep.MachineError = machine.RunCtx(ctx, mset, cfg)
+	rep.Oracle, rep.OracleError = oracle.Run(oset)
+	if rep.MachineError != nil || rep.OracleError != nil {
+		return rep, nil
+	}
+	diff(rep)
+	return rep, nil
+}
+
+func diff(r *Report) {
+	m, o := r.Machine, r.Oracle
+	if len(m.CPUs) != len(o.CPUs) {
+		r.diverge("ncpu", len(m.CPUs), len(o.CPUs))
+		return
+	}
+	for i := range m.CPUs {
+		mc, oc := &m.CPUs[i], &o.CPUs[i]
+		if mc.WorkCycles != oc.WorkCycles {
+			r.diverge(fmt.Sprintf("cpu%d work cycles", i), mc.WorkCycles, oc.WorkCycles)
+		}
+		if mc.Refs != oc.Refs {
+			r.diverge(fmt.Sprintf("cpu%d refs", i), mc.Refs, oc.Refs)
+		}
+		if mc.LockOps != oc.LockOps {
+			r.diverge(fmt.Sprintf("cpu%d lock ops", i), mc.LockOps, oc.LockOps)
+		}
+		if mc.FinishTime < oc.IdealFinish {
+			r.diverge(fmt.Sprintf("cpu%d finish below ideal", i), mc.FinishTime, oc.IdealFinish)
+		}
+	}
+	if m.RunTime < o.IdealRunTime {
+		r.diverge("run time below ideal", m.RunTime, o.IdealRunTime)
+	}
+	if m.Locks.Acquisitions != o.Acquisitions {
+		r.diverge("acquisitions", m.Locks.Acquisitions, o.Acquisitions)
+	}
+	if m.BarrierEpisodes != o.BarrierEpisodes {
+		r.diverge("barrier episodes", m.BarrierEpisodes, o.BarrierEpisodes)
+	}
+
+	// Per-lock: same lock population, same acquisition counts, machine
+	// hold times bounded below by the oracle's ideal hold times.
+	var oracleIdealHold uint64
+	for id, ol := range o.Locks {
+		oracleIdealHold += ol.IdealHoldCycles
+		ml, ok := m.LockDetails[id]
+		if !ok {
+			r.diverge(fmt.Sprintf("lock %d", id), "absent", "present")
+			continue
+		}
+		if ml.Acquisitions != ol.Acquisitions {
+			r.diverge(fmt.Sprintf("lock %d acquisitions", id), ml.Acquisitions, ol.Acquisitions)
+		}
+		if ml.HoldCycles < ol.IdealHoldCycles {
+			r.diverge(fmt.Sprintf("lock %d hold below ideal", id), ml.HoldCycles, ol.IdealHoldCycles)
+		}
+	}
+	for id := range m.LockDetails {
+		if _, ok := o.Locks[id]; !ok {
+			r.diverge(fmt.Sprintf("lock %d", id), "present", "absent")
+		}
+	}
+	if m.Locks.HoldCycles < oracleIdealHold {
+		r.diverge("total hold below ideal", m.Locks.HoldCycles, oracleIdealHold)
+	}
+
+	// Final ownership: both must agree on which locks are still held.
+	machineHeld := make(map[uint32]bool, len(m.LocksHeld))
+	for _, id := range m.LocksHeld {
+		machineHeld[id] = true
+	}
+	for id := range o.FinalOwners {
+		if !machineHeld[id] {
+			r.diverge(fmt.Sprintf("lock %d held at end", id), "free", "held")
+		}
+	}
+	for id := range machineHeld {
+		if _, ok := o.FinalOwners[id]; !ok {
+			r.diverge(fmt.Sprintf("lock %d held at end", id), "held", "free")
+		}
+	}
+}

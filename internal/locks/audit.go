@@ -1,0 +1,111 @@
+package locks
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EnableAudit turns on FIFO-fairness auditing: every queued waiter is
+// stamped with a global arrival sequence number, and each queue-lock Grant
+// verifies the grantee arrived before every processor still waiting.
+// Violations are recorded (not panicked) so the machine's invariant checker
+// can surface them through its normal error path.
+func (m *Manager) EnableAudit() { m.audit = true }
+
+func (m *Manager) noteArrival(ls *lockState, cpu int) {
+	if !m.audit {
+		return
+	}
+	if ls.arrival == nil {
+		ls.arrival = make(map[int]uint64)
+	}
+	m.arrivalSeq++
+	ls.arrival[cpu] = m.arrivalSeq
+}
+
+func (m *Manager) noteDeparture(ls *lockState, cpu int) {
+	if ls.arrival != nil {
+		delete(ls.arrival, cpu)
+	}
+}
+
+func (m *Manager) auditGrant(ls *lockState, id uint32, cpu int) {
+	if !m.audit || ls.arrival == nil {
+		return
+	}
+	granted, ok := ls.arrival[cpu]
+	if !ok {
+		m.auditFail(fmt.Errorf("locks: lock %d granted to cpu %d with no recorded arrival", id, cpu))
+		return
+	}
+	for _, w := range ls.waiters {
+		if seq, ok := ls.arrival[w]; ok && seq < granted {
+			m.auditFail(fmt.Errorf("locks: FIFO violated on lock %d: cpu %d (arrival %d) granted before waiting cpu %d (arrival %d)",
+				id, cpu, granted, w, seq))
+		}
+	}
+}
+
+func (m *Manager) auditFail(err error) {
+	const maxAuditErrs = 8
+	if len(m.auditErrs) < maxAuditErrs {
+		m.auditErrs = append(m.auditErrs, err)
+	}
+}
+
+// CheckLock verifies the structural invariants of one lock: the owner is
+// never also queued, the wait queue holds no duplicates, and a pending
+// hand-off implies a free lock with at least one waiter.
+func (m *Manager) CheckLock(id uint32) error {
+	ls, ok := m.locks[id]
+	if !ok {
+		return nil
+	}
+	seen := make(map[int]bool, len(ls.waiters))
+	for _, w := range ls.waiters {
+		if w == ls.owner {
+			return fmt.Errorf("locks: lock %d owner cpu %d is also queued as a waiter", id, w)
+		}
+		if seen[w] {
+			return fmt.Errorf("locks: lock %d has cpu %d queued twice", id, w)
+		}
+		seen[w] = true
+	}
+	if ls.handoff && (ls.owner != NoOwner || len(ls.waiters) == 0) {
+		return fmt.Errorf("locks: lock %d hand-off pending with owner %d and %d waiters",
+			id, ls.owner, len(ls.waiters))
+	}
+	return nil
+}
+
+// CheckInvariants verifies every lock's structural invariants and reports
+// any FIFO-fairness violations the audit recorded.
+func (m *Manager) CheckInvariants() error {
+	if len(m.auditErrs) > 0 {
+		return m.auditErrs[0]
+	}
+	ids := make([]uint32, 0, len(m.locks))
+	for id := range m.locks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := m.CheckLock(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeldLocks returns the ids of all locks currently owned, sorted, for
+// end-of-run leak reporting.
+func (m *Manager) HeldLocks() []uint32 {
+	var ids []uint32
+	for id, ls := range m.locks {
+		if ls.owner != NoOwner {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

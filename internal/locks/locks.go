@@ -71,8 +71,11 @@ type lockState struct {
 	freedValid bool
 	handoff    bool // release decided a transfer; grant pending
 
-	acqs      uint64
-	transfers uint64
+	acqs       uint64
+	transfers  uint64
+	holdCycles uint64
+
+	arrival map[int]uint64 // audit: waiter -> global arrival sequence
 }
 
 // Stats aggregates contention statistics across all locks of a program run.
@@ -129,6 +132,10 @@ func (s *Stats) AvgTransferTime() float64 {
 type Manager struct {
 	locks map[uint32]*lockState
 	stats Stats
+
+	audit      bool
+	arrivalSeq uint64
+	auditErrs  []error
 }
 
 // NewManager returns an empty lock manager.
@@ -193,6 +200,7 @@ func (m *Manager) Request(cpu int, id, addr uint32, now uint64) bool {
 		panic(fmt.Sprintf("locks: cpu %d re-requesting lock %d it already owns", cpu, id))
 	}
 	ls.waiters = append(ls.waiters, cpu)
+	m.noteArrival(ls, cpu)
 	if len(ls.waiters) > m.stats.MaxWaiters {
 		m.stats.MaxWaiters = len(ls.waiters)
 	}
@@ -233,6 +241,7 @@ func (m *Manager) Release(cpu int, id uint32, now uint64) (next int, hasNext boo
 	}
 	hold := now - ls.acquiredAt
 	m.stats.HoldCycles += hold
+	ls.holdCycles += hold
 	ls.owner = NoOwner
 	ls.freedAt = now
 	ls.freedValid = true
@@ -253,7 +262,9 @@ func (m *Manager) Grant(cpu int, id uint32, now uint64) {
 	if !ok || !ls.handoff || len(ls.waiters) == 0 || ls.waiters[0] != cpu {
 		panic(fmt.Sprintf("locks: invalid Grant of lock %d to cpu %d", id, cpu))
 	}
+	m.auditGrant(ls, id, cpu)
 	ls.waiters = ls.waiters[1:]
+	m.noteDeparture(ls, cpu)
 	m.acquire(ls, cpu, now, true)
 }
 
@@ -270,6 +281,7 @@ func (m *Manager) TryAcquireRace(cpu int, id uint32, now uint64) bool {
 	for i, w := range ls.waiters {
 		if w == cpu {
 			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			m.noteDeparture(ls, cpu)
 			wasWaiting = true
 			break
 		}
@@ -311,7 +323,7 @@ func (m *Manager) AnyHeld() bool {
 func (m *Manager) PerLock() map[uint32]LockInfo {
 	out := make(map[uint32]LockInfo, len(m.locks))
 	for id, ls := range m.locks {
-		out[id] = LockInfo{Addr: ls.addr, Acquisitions: ls.acqs, Transfers: ls.transfers}
+		out[id] = LockInfo{Addr: ls.addr, Acquisitions: ls.acqs, Transfers: ls.transfers, HoldCycles: ls.holdCycles}
 	}
 	return out
 }
@@ -321,4 +333,5 @@ type LockInfo struct {
 	Addr         uint32
 	Acquisitions uint64
 	Transfers    uint64
+	HoldCycles   uint64 // completed acquisitions only
 }

@@ -86,6 +86,7 @@ type entry struct {
 type buffer struct {
 	entries []entry
 	depth   int
+	removed uint64 // lifetime count of completed entries, for conservation checks
 }
 
 func newBuffer(depth int) *buffer {
@@ -147,6 +148,7 @@ func (b *buffer) remove(target *entry) {
 	for i := range b.entries {
 		if &b.entries[i] == target {
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			b.removed++
 			return
 		}
 	}

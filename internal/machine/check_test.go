@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/suite"
+)
+
+// TestCheckerCleanWorkloads runs real benchmark traces with the invariant
+// checker enabled across the lock algorithms and consistency models; a
+// correct machine must never trip it.
+func TestCheckerCleanWorkloads(t *testing.T) {
+	cases := []struct {
+		bench string
+		lock  locks.Algorithm
+		cons  Consistency
+	}{
+		{"Grav", locks.Queue, SeqConsistent},
+		{"Grav", locks.TTS, SeqConsistent},
+		{"Pdsa", locks.Queue, WeakOrdering},
+		{"Pdsa", locks.QueueExact, SeqConsistent},
+		{"Qsort", locks.TTSBackoff, SeqConsistent},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bench+"/"+tc.lock.String()+"/"+tc.cons.String(), func(t *testing.T) {
+			t.Parallel()
+			b, err := suite.ByName(tc.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := b.Program.Generate(workload.Params{Scale: 0.02, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := defCfg()
+			cfg.Check = true
+			cfg.Lock = tc.lock
+			cfg.Consistency = tc.cons
+			if _, err := Run(set, cfg); err != nil {
+				t.Fatalf("checked run failed: %v", err)
+			}
+		})
+	}
+}
+
+// sharedReaderWriterTrace builds a two-CPU trace where both processors read
+// one shared line and cpu 0 then writes it — the minimal sequence whose
+// upgrade invalidation the FaultSkipInvalidate bug corrupts.
+func sharedReaderWriterTrace() *trace.Set {
+	const x = 0x2000_1000
+	return trace.BufferSet("shared-rw", [][]trace.Event{
+		{trace.Read(x), trace.Exec(20), trace.Write(x), trace.Exec(20)},
+		{trace.Read(x), trace.Exec(60)},
+	})
+}
+
+func TestCheckerCatchesInjectedCoherenceBug(t *testing.T) {
+	cfg := defCfg()
+	cfg.Check = true
+
+	// Control: the same trace on the unfaulted machine is clean.
+	if _, err := Run(sharedReaderWriterTrace(), cfg); err != nil {
+		t.Fatalf("clean machine tripped the checker: %v", err)
+	}
+
+	cfg.Fault = FaultSkipInvalidate
+	_, err := Run(sharedReaderWriterTrace(), cfg)
+	if err == nil {
+		t.Fatal("checker missed the injected coherence bug")
+	}
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("fault surfaced as %v, want ErrInvariant", err)
+	}
+}
+
+// TestFaultInvisibleWithoutChecker pins the fault's stealth: without the
+// checker the corrupted run completes and silently reports wrong numbers,
+// which is exactly why Config.Check exists.
+func TestFaultInvisibleWithoutChecker(t *testing.T) {
+	cfg := defCfg()
+	cfg.Fault = FaultSkipInvalidate
+	if _, err := Run(sharedReaderWriterTrace(), cfg); err != nil {
+		t.Fatalf("unchecked faulty run errored: %v", err)
+	}
+}
+
+func TestCheckerCatchesLeakedLock(t *testing.T) {
+	leaky := [][]trace.Event{
+		{trace.Lock(1, 0x2000_0040), trace.Exec(5)}, // never unlocked
+	}
+	cfg := defCfg()
+	if _, err := Run(trace.BufferSet("leaky", leaky), cfg); err != nil {
+		t.Fatalf("unchecked leaky run errored: %v", err)
+	}
+	cfg.Check = true
+	_, err := Run(trace.BufferSet("leaky", leaky), cfg)
+	if err == nil || !errors.Is(err, ErrInvariant) {
+		t.Fatalf("leaked lock not caught: %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownFault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fault = Fault(99)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown fault")
+	}
+}

@@ -59,6 +59,20 @@ type Config struct {
 	BackoffBase uint64
 	BackoffMax  uint64
 
+	// Check enables the runtime invariant checker: after every completed
+	// bus transaction the machine asserts Illinois coherence across all
+	// caches and buffers, bus-cycle conservation, lock mutual exclusion
+	// and queuing-lock FIFO fairness, and per-CPU time monotonicity; at
+	// end of run it additionally asserts reference conservation and a
+	// fully drained machine. Violations abort the run with an error that
+	// wraps ErrInvariant. Costs roughly half again the simulation time
+	// (see BenchmarkCheckerOverhead and BENCH_seed.json).
+	Check bool
+	// Fault injects a deliberate protocol bug (see Fault); tests use it
+	// to prove the checker and the differential harness catch real
+	// coherence errors.
+	Fault Fault
+
 	// MaxCycles aborts the run if the simulated clock exceeds it
 	// (deadlock guard). Zero means no limit.
 	MaxCycles uint64
@@ -109,6 +123,11 @@ func (c Config) Validate() error {
 	case SeqConsistent, WeakOrdering:
 	default:
 		return fmt.Errorf("machine: unknown consistency model %v", c.Consistency)
+	}
+	switch c.Fault {
+	case FaultNone, FaultSkipInvalidate:
+	default:
+		return fmt.Errorf("machine: unknown fault injection %d", c.Fault)
 	}
 	return nil
 }

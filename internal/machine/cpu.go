@@ -272,11 +272,9 @@ func (m *Machine) processEvent(c *cpu, ev trace.Event, now uint64) bool {
 			c.state = stRun
 			return false
 		}
-		c.refs++
 		return m.access(c, ev, ev.Kind == trace.KindWrite, now)
 
 	case trace.KindLock:
-		c.lockOps++
 		if m.cfg.Consistency == WeakOrdering && !c.buf.empty() {
 			c.beginStall(causeDrain, now)
 			c.deferEvent(ev)
@@ -287,6 +285,7 @@ func (m *Machine) processEvent(c *cpu, ev trace.Event, now uint64) bool {
 		if m.cfg.Lock.IsQueue() {
 			return m.queueLockAcquire(c, ev, now)
 		}
+		c.lockOps++
 		c.ttsLockID = ev.Arg
 		c.ttsLockAddr = ev.Addr
 		c.ttsRegistered = false
@@ -294,7 +293,6 @@ func (m *Machine) processEvent(c *cpu, ev trace.Event, now uint64) bool {
 		return m.ttsTest(c, now)
 
 	case trace.KindUnlock:
-		c.lockOps++
 		if m.cfg.Consistency == WeakOrdering && !c.buf.empty() {
 			c.beginStall(causeDrain, now)
 			c.deferEvent(ev)
@@ -391,6 +389,10 @@ func (m *Machine) access(c *cpu, ev trace.Event, isWrite bool, now uint64) bool 
 		return false
 	}
 
+	// The reference is committed past this point: deferred retries above
+	// re-enter access and must not have counted it yet, or replays would
+	// double-count (a bug the oracle diff caught).
+	c.refs++
 	res := c.cache.Probe(ev.Addr, isWrite)
 	switch res.Need {
 	case cache.NeedNone:
@@ -449,6 +451,7 @@ func (m *Machine) queueLockAcquire(c *cpu, ev trace.Event, now uint64) bool {
 		m.bufferWait(c, ev, now)
 		return false
 	}
+	c.lockOps++
 	pur := purNormal
 	if m.cfg.Lock == locks.QueueExact {
 		// True Graunke-Thakkar: the enqueue's atomic exchange takes two
@@ -471,6 +474,7 @@ func (m *Machine) queueLockRelease(c *cpu, ev trace.Event, now uint64) bool {
 		m.bufferWait(c, ev, now)
 		return false
 	}
+	c.lockOps++
 	c.buf.push(entry{
 		id: m.nextEntryID(), kind: entLockRelease,
 		line: ev.Addr, lockID: ev.Arg, blocking: true,
@@ -587,6 +591,7 @@ func (m *Machine) ttsResolve(c *cpu, now uint64) bool {
 // word. A hit on an owned line releases immediately and silently; a Shared
 // hit needs the invalidation that triggers the spinners' re-read flurry.
 func (m *Machine) ttsRelease(c *cpu, ev trace.Event, now uint64) bool {
+	c.lockOps++
 	c.ttsLockID = ev.Arg
 	c.ttsLockAddr = ev.Addr
 	return m.ttsReleaseRetry(c, now)

@@ -70,6 +70,8 @@ type Machine struct {
 	entryID   uint64
 	now       uint64
 	droppedWB uint64
+
+	checker *checker // non-nil when Config.Check is set
 }
 
 // New builds a machine for the given trace set.
@@ -97,6 +99,10 @@ func New(set *trace.Set, cfg Config) (*Machine, error) {
 			buf:   newBuffer(cfg.BufDepth),
 			state: stFetch,
 		})
+	}
+	if cfg.Check {
+		m.checker = newChecker(m)
+		m.locks.EnableAudit()
 	}
 	return m, nil
 }
@@ -165,7 +171,13 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 		// Phase A: complete the bus transaction ending now; advance the
 		// memory pipeline.
 		if m.txn.active && m.now >= m.txn.at {
+			t := m.txn
 			m.completeTxn()
+			if m.checker != nil {
+				if err := m.checker.afterTxn(t); err != nil {
+					return nil, err
+				}
+			}
 			progress = true
 		}
 		m.mem.Tick(m.now)
@@ -207,6 +219,11 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("machine: %s deadlocked at cycle %d: %s", m.name, m.now, m.stateDump())
 		}
 		m.now = next
+	}
+	if m.checker != nil {
+		if err := m.checker.final(); err != nil {
+			return nil, err
+		}
 	}
 	return m.result(), nil
 }
@@ -322,6 +339,9 @@ func (m *Machine) hasSupplier(requester int, line uint32) bool {
 // copy is killed, and handling buffered dirty copies. It reports whether a
 // supplier exists.
 func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (supplied bool) {
+	if m.cfg.Fault == FaultSkipInvalidate {
+		op = cache.SnoopRead
+	}
 	invalidating := op != cache.SnoopRead
 	for j, c := range m.cpus {
 		if j == requester {
@@ -700,6 +720,7 @@ func (m *Machine) result() *Result {
 		Memory:            *m.mem.Stats(),
 		Locks:             *m.locks.Stats(),
 		LockDetails:       m.locks.PerLock(),
+		LocksHeld:         m.locks.HeldLocks(),
 		DroppedWriteBacks: m.droppedWB,
 	}
 	for _, b := range m.barriers {

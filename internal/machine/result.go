@@ -46,6 +46,9 @@ type Result struct {
 	Locks       locks.Stats
 	LockDetails map[uint32]locks.LockInfo
 
+	// LocksHeld lists the locks still owned when the run ended (normally
+	// empty; the differential harness diffs it against the oracle).
+	LocksHeld []uint32
 	// DroppedWriteBacks counts the rare corner where a fill's internal
 	// eviction found a dirty victim but the buffer was full; the
 	// write-back's bus traffic is lost (documented simplification).

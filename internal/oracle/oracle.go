@@ -1,0 +1,311 @@
+// Package oracle is the deliberately-slow reference interpreter the
+// differential harness diffs the cycle-level machine against. It executes a
+// trace.Set as an unpipelined, sequentially-consistent machine with a flat
+// memory model: references cost nothing beyond their Exec cycles (hit time
+// is folded into the execution bursts, as in the trace model), there are no
+// caches, no bus, and no buffers — just a global clock, FIFO locks with
+// immediate hand-off, and all-processor barriers.
+//
+// Because it shares no code with internal/machine (it imports only the
+// trace model), agreement between the two on acquisition counts, work
+// cycles, reference counts and final lock ownership is strong evidence
+// both are right; disagreement localises a bug.
+//
+// The oracle tracks two clocks per processor: the contended clock, which
+// advances through lock waits and barrier waits, and the ideal clock, which
+// advances only on execution. Ideal hold times and finish times are lower
+// bounds for the machine's measured ones (the machine adds miss and bus
+// stalls the oracle does not model).
+package oracle
+
+import (
+	"fmt"
+
+	"syncsim/internal/trace"
+)
+
+// CPUResult is one processor's share of an oracle run.
+type CPUResult struct {
+	WorkCycles  uint64 // execution cycles consumed from the trace
+	FinishTime  uint64 // contended clock at retirement
+	IdealFinish uint64 // ideal clock at retirement (no waiting)
+	Refs        uint64 // memory references executed
+	LockOps     uint64 // lock + unlock events executed
+}
+
+// LockResult is one lock's activity over an oracle run.
+type LockResult struct {
+	Addr            uint32
+	Acquisitions    uint64
+	Transfers       uint64 // acquisitions granted to a queued waiter
+	HoldCycles      uint64 // contended-clock hold time, completed holds
+	IdealHoldCycles uint64 // ideal-clock hold time, completed holds
+}
+
+// Result is the outcome of interpreting one trace set.
+type Result struct {
+	Name            string
+	RunTime         uint64 // max contended finish time
+	IdealRunTime    uint64 // max ideal finish time
+	CPUs            []CPUResult
+	Locks           map[uint32]LockResult
+	Acquisitions    uint64
+	Transfers       uint64
+	BarrierEpisodes uint64
+	// FinalOwners maps locks still held at end of run to their owner
+	// (empty for well-formed traces).
+	FinalOwners map[uint32]int
+}
+
+type cpuState uint8
+
+const (
+	stReady cpuState = iota
+	stLockWait
+	stBarrier
+	stDone
+)
+
+type oCPU struct {
+	src   trace.Source
+	state cpuState
+	clock uint64 // contended
+	ideal uint64
+
+	res CPUResult
+}
+
+type oLock struct {
+	addr          uint32
+	owner         int
+	waiters       []int // FIFO by lock-event processing order
+	acquiredAt    uint64
+	acquiredIdeal uint64
+
+	res LockResult
+}
+
+type oBarrier struct {
+	waiting []int
+}
+
+type interp struct {
+	name     string
+	cpus     []*oCPU
+	locks    map[uint32]*oLock
+	barriers map[uint32]*oBarrier
+	episodes uint64
+}
+
+// Run interprets the trace set from its current position. The caller is
+// responsible for handing it a fresh or rewound set.
+func Run(set *trace.Set) (*Result, error) {
+	if set.NCPU() == 0 {
+		return nil, fmt.Errorf("oracle: trace set %q has no processors", set.Name)
+	}
+	in := &interp{
+		name:     set.Name,
+		locks:    make(map[uint32]*oLock),
+		barriers: make(map[uint32]*oBarrier),
+	}
+	for _, src := range set.Sources {
+		in.cpus = append(in.cpus, &oCPU{src: src})
+	}
+	for {
+		i, ok := in.nextRunnable()
+		if !ok {
+			break
+		}
+		if err := in.step(i); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range in.cpus {
+		if c.state != stDone {
+			return nil, fmt.Errorf("oracle: %s deadlocked: cpu %d blocked in state %d with no runnable processor",
+				in.name, i, c.state)
+		}
+	}
+	return in.result(), nil
+}
+
+// nextRunnable picks the ready processor with the lowest contended clock,
+// breaking ties by processor id — the oracle's whole scheduling policy.
+func (in *interp) nextRunnable() (int, bool) {
+	best, found := -1, false
+	for i, c := range in.cpus {
+		if c.state != stReady {
+			continue
+		}
+		if !found || c.clock < in.cpus[best].clock {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// step consumes one trace event of processor i.
+func (in *interp) step(i int) error {
+	c := in.cpus[i]
+	ev, ok := c.src.Next()
+	if !ok {
+		in.retire(i)
+		return nil
+	}
+	switch ev.Kind {
+	case trace.KindExec:
+		c.advance(uint64(ev.Arg))
+
+	case trace.KindIFetch, trace.KindRead, trace.KindWrite:
+		// Fused form: the Arg carries the preceding burst's cycles; the
+		// reference itself is free under the flat memory model.
+		c.advance(uint64(ev.Arg))
+		c.res.Refs++
+
+	case trace.KindLock:
+		c.res.LockOps++
+		return in.lock(i, ev.Arg, ev.Addr)
+
+	case trace.KindUnlock:
+		c.res.LockOps++
+		return in.unlock(i, ev.Arg)
+
+	case trace.KindBarrier:
+		in.barrier(i, ev.Arg)
+
+	case trace.KindEnd:
+		in.retire(i)
+
+	default:
+		return fmt.Errorf("oracle: %s cpu %d: invalid event kind %v", in.name, i, ev.Kind)
+	}
+	return nil
+}
+
+func (c *oCPU) advance(cycles uint64) {
+	c.clock += cycles
+	c.ideal += cycles
+	c.res.WorkCycles += cycles
+}
+
+func (in *interp) retire(i int) {
+	c := in.cpus[i]
+	c.state = stDone
+	c.res.FinishTime = c.clock
+	c.res.IdealFinish = c.ideal
+}
+
+func (in *interp) lockState(id uint32) *oLock {
+	l, ok := in.locks[id]
+	if !ok {
+		l = &oLock{owner: -1}
+		in.locks[id] = l
+	}
+	return l
+}
+
+func (in *interp) lock(i int, id, addr uint32) error {
+	l := in.lockState(id)
+	l.addr = addr
+	l.res.Addr = addr
+	if l.owner == i {
+		return fmt.Errorf("oracle: %s cpu %d re-acquiring lock %d it already holds", in.name, i, id)
+	}
+	if l.owner < 0 && len(l.waiters) == 0 {
+		in.acquire(l, i, false)
+		return nil
+	}
+	l.waiters = append(l.waiters, i)
+	in.cpus[i].state = stLockWait
+	return nil
+}
+
+func (in *interp) acquire(l *oLock, i int, viaTransfer bool) {
+	c := in.cpus[i]
+	l.owner = i
+	l.acquiredAt = c.clock
+	l.acquiredIdeal = c.ideal
+	l.res.Acquisitions++
+	if viaTransfer {
+		l.res.Transfers++
+	}
+}
+
+func (in *interp) unlock(i int, id uint32) error {
+	l, ok := in.locks[id]
+	if !ok || l.owner != i {
+		return fmt.Errorf("oracle: %s cpu %d releasing lock %d it does not own", in.name, i, id)
+	}
+	c := in.cpus[i]
+	l.res.HoldCycles += c.clock - l.acquiredAt
+	l.res.IdealHoldCycles += c.ideal - l.acquiredIdeal
+	l.owner = -1
+	if len(l.waiters) == 0 {
+		return nil
+	}
+	// FIFO hand-off, immediate: the head waiter resumes at the later of
+	// its own arrival and the release.
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	w := in.cpus[next]
+	if w.clock < c.clock {
+		w.clock = c.clock
+	}
+	w.state = stReady
+	in.acquire(l, next, true)
+	return nil
+}
+
+func (in *interp) barrier(i int, id uint32) {
+	b := in.barriers[id]
+	if b == nil {
+		b = &oBarrier{}
+		in.barriers[id] = b
+	}
+	b.waiting = append(b.waiting, i)
+	in.cpus[i].state = stBarrier
+	if len(b.waiting) < len(in.cpus) {
+		return
+	}
+	// Last arrival: release everyone at the latest arrival clock.
+	var release uint64
+	for _, w := range b.waiting {
+		if in.cpus[w].clock > release {
+			release = in.cpus[w].clock
+		}
+	}
+	for _, w := range b.waiting {
+		in.cpus[w].clock = release
+		in.cpus[w].state = stReady
+	}
+	b.waiting = b.waiting[:0]
+	in.episodes++
+}
+
+func (in *interp) result() *Result {
+	res := &Result{
+		Name:            in.name,
+		CPUs:            make([]CPUResult, len(in.cpus)),
+		Locks:           make(map[uint32]LockResult, len(in.locks)),
+		BarrierEpisodes: in.episodes,
+		FinalOwners:     make(map[uint32]int),
+	}
+	for i, c := range in.cpus {
+		res.CPUs[i] = c.res
+		if c.res.FinishTime > res.RunTime {
+			res.RunTime = c.res.FinishTime
+		}
+		if c.res.IdealFinish > res.IdealRunTime {
+			res.IdealRunTime = c.res.IdealFinish
+		}
+	}
+	for id, l := range in.locks {
+		res.Locks[id] = l.res
+		res.Acquisitions += l.res.Acquisitions
+		res.Transfers += l.res.Transfers
+		if l.owner >= 0 {
+			res.FinalOwners[id] = l.owner
+		}
+	}
+	return res
+}

@@ -1,0 +1,140 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"syncsim/internal/trace"
+)
+
+const lockAddr = 0x2000_0040
+
+func run(t *testing.T, cpus [][]trace.Event) *Result {
+	t.Helper()
+	res, err := Run(trace.BufferSet("t", cpus))
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	return res
+}
+
+func TestLockHandoff(t *testing.T) {
+	res := run(t, [][]trace.Event{
+		{trace.Exec(10), trace.Lock(1, lockAddr), trace.Exec(5), trace.Unlock(1, lockAddr), trace.Exec(1)},
+		{trace.Exec(12), trace.Lock(1, lockAddr), trace.Exec(5), trace.Unlock(1, lockAddr)},
+	})
+	if res.Acquisitions != 2 || res.Transfers != 1 {
+		t.Errorf("acqs=%d transfers=%d, want 2 and 1", res.Acquisitions, res.Transfers)
+	}
+	l := res.Locks[1]
+	if l.HoldCycles != 10 || l.IdealHoldCycles != 10 {
+		t.Errorf("hold=%d ideal=%d, want 10 and 10", l.HoldCycles, l.IdealHoldCycles)
+	}
+	if l.Addr != lockAddr {
+		t.Errorf("lock addr = %#x, want %#x", l.Addr, uint32(lockAddr))
+	}
+	// cpu1 arrives at 12, waits for the release at 15, runs 5 more.
+	if res.RunTime != 20 {
+		t.Errorf("RunTime = %d, want 20", res.RunTime)
+	}
+	if res.IdealRunTime != 17 {
+		t.Errorf("IdealRunTime = %d, want 17", res.IdealRunTime)
+	}
+	if res.CPUs[0].FinishTime != 16 || res.CPUs[1].FinishTime != 20 {
+		t.Errorf("finishes = %d, %d, want 16 and 20",
+			res.CPUs[0].FinishTime, res.CPUs[1].FinishTime)
+	}
+	if len(res.FinalOwners) != 0 {
+		t.Errorf("FinalOwners = %v, want empty", res.FinalOwners)
+	}
+	if res.CPUs[0].LockOps != 2 || res.CPUs[1].LockOps != 2 {
+		t.Errorf("lock ops = %d, %d, want 2 each", res.CPUs[0].LockOps, res.CPUs[1].LockOps)
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	// cpus 1 and 2 both queue on the lock; 1 arrives first (clock 5 < 6)
+	// and must be granted first, so 2's critical section runs last.
+	res := run(t, [][]trace.Event{
+		{trace.Lock(1, lockAddr), trace.Exec(20), trace.Unlock(1, lockAddr)},
+		{trace.Exec(5), trace.Lock(1, lockAddr), trace.Exec(3), trace.Unlock(1, lockAddr)},
+		{trace.Exec(6), trace.Lock(1, lockAddr), trace.Exec(3), trace.Unlock(1, lockAddr)},
+	})
+	if res.Transfers != 2 {
+		t.Errorf("transfers = %d, want 2", res.Transfers)
+	}
+	// Grant order 0 -> 1 -> 2: cpu1 finishes at 23, cpu2 at 26.
+	if res.CPUs[1].FinishTime != 23 || res.CPUs[2].FinishTime != 26 {
+		t.Errorf("finishes = %d, %d, want 23 and 26",
+			res.CPUs[1].FinishTime, res.CPUs[2].FinishTime)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	res := run(t, [][]trace.Event{
+		{trace.Exec(5), trace.Barrier(0), trace.Exec(1)},
+		{trace.Exec(9), trace.Barrier(0), trace.Exec(1)},
+	})
+	if res.BarrierEpisodes != 1 {
+		t.Errorf("episodes = %d, want 1", res.BarrierEpisodes)
+	}
+	if res.CPUs[0].FinishTime != 10 || res.CPUs[1].FinishTime != 10 {
+		t.Errorf("finishes = %d, %d, want 10 and 10",
+			res.CPUs[0].FinishTime, res.CPUs[1].FinishTime)
+	}
+	// The ideal clock does not wait at the barrier.
+	if res.CPUs[0].IdealFinish != 6 {
+		t.Errorf("cpu0 ideal finish = %d, want 6", res.CPUs[0].IdealFinish)
+	}
+}
+
+func TestCountsRefsAndWork(t *testing.T) {
+	res := run(t, [][]trace.Event{
+		{trace.Exec(10), trace.Read(0x1000), trace.ReadAfter(4, 0x1004), trace.Write(0x1008)},
+	})
+	c := res.CPUs[0]
+	if c.Refs != 3 {
+		t.Errorf("refs = %d, want 3", c.Refs)
+	}
+	if c.WorkCycles != 14 {
+		t.Errorf("work = %d, want 14", c.WorkCycles)
+	}
+}
+
+func TestUnlockNotOwnedErrors(t *testing.T) {
+	_, err := Run(trace.BufferSet("bad", [][]trace.Event{
+		{trace.Unlock(1, lockAddr)},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "does not own") {
+		t.Errorf("unlock-not-owned not caught: %v", err)
+	}
+}
+
+func TestReacquireErrors(t *testing.T) {
+	_, err := Run(trace.BufferSet("bad", [][]trace.Event{
+		{trace.Lock(1, lockAddr), trace.Lock(1, lockAddr)},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "re-acquiring") {
+		t.Errorf("re-acquire not caught: %v", err)
+	}
+}
+
+func TestCrossLockDeadlock(t *testing.T) {
+	a, b := uint32(0x2000_0040), uint32(0x2000_0080)
+	_, err := Run(trace.BufferSet("dead", [][]trace.Event{
+		{trace.Lock(1, a), trace.Exec(5), trace.Lock(2, b), trace.Unlock(2, b), trace.Unlock(1, a)},
+		{trace.Lock(2, b), trace.Exec(5), trace.Lock(1, a), trace.Unlock(1, a), trace.Unlock(2, b)},
+	}))
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("deadlock not caught: %v", err)
+	}
+}
+
+func TestLeakedLockReported(t *testing.T) {
+	res := run(t, [][]trace.Event{
+		{trace.Lock(1, lockAddr), trace.Exec(5)},
+	})
+	if owner, ok := res.FinalOwners[1]; !ok || owner != 0 {
+		t.Errorf("FinalOwners = %v, want lock 1 -> cpu 0", res.FinalOwners)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile of xs (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics (the R-7 estimator, matching
+// numpy's default). It returns NaN for an empty slice and does not modify
+// xs. Out-of-range q is clamped.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Summary condenses a sample into the location statistics the reports print.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean        float64
+	Median, P95 float64
+}
+
+// Summarize computes a Summary of xs. The zero Summary is returned for an
+// empty sample (its float fields are meaningless in that case; check N).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		Mean:   Mean(xs),
+		Median: Quantile(xs, 0.5),
+		P95:    Quantile(xs, 0.95),
+	}
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
