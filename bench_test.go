@@ -358,3 +358,26 @@ func BenchmarkTraceCodec(b *testing.B) {
 	}
 	b.SetBytes(int64(buf.Len()))
 }
+
+// BenchmarkMachineRun times machine.Run alone — no trace generation, no
+// ideal analysis — on every benchmark × machine model under the default
+// wakeup-calendar scheduler. This is the suite the CI benchmark regression
+// gate watches (alongside BenchmarkCheckerOverhead).
+func BenchmarkMachineRun(b *testing.B) {
+	for _, name := range suite.Names() {
+		for _, model := range []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO} {
+			b.Run(fmt.Sprintf("%s/%s", name, model), func(b *testing.B) {
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					set := benchTrace(b, name)
+					res, err := machine.Run(set, model.MachineConfig(machine.DefaultConfig()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.RunTime
+				}
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simCycles/s")
+			})
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command schedbench times machine.Run — the simulator alone, excluding
+// trace generation and ideal analysis — across the full benchmark × model
+// matrix, under either or both run-loop schedulers. It backs the committed
+// BENCH_pr3.json: run it at the comparison commit and at HEAD with the same
+// flags and divide the per-row best times.
+//
+// Usage:
+//
+//	schedbench                      # table on stdout, calendar scheduler
+//	schedbench -sched both -reps 5  # calendar and polling side by side
+//	schedbench -json out.json       # machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"syncsim/internal/core"
+	"syncsim/internal/machine"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/suite"
+)
+
+// Row is one (benchmark, model, scheduler) measurement: the best wall time
+// of machine.Run over all repetitions, plus the run's invariant outputs so
+// reports from different commits can be checked for cycle-exactness before
+// their times are compared.
+type Row struct {
+	Bench     string  `json:"bench"`
+	Model     string  `json:"model"`
+	Scheduler string  `json:"scheduler"`
+	BestNs    int64   `json:"best_ns"`
+	SimCycles uint64  `json:"sim_cycles"`
+	MCyclesPS float64 `json:"mcycles_per_sec"`
+	// Iterations and Steps are zero when the build predates scheduler
+	// metrics.
+	Iterations uint64 `json:"sched_iterations,omitempty"`
+	Steps      uint64 `json:"sched_steps,omitempty"`
+}
+
+// Report is the schedbench JSON document.
+type Report struct {
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	NCPU  int     `json:"ncpu"`
+	Reps  int     `json:"reps"`
+	Rows  []Row   `json:"rows"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "workload scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	reps := flag.Int("reps", 5, "repetitions per cell; the best time is kept")
+	schedFlag := flag.String("sched", "calendar", "scheduler(s) to time: calendar, polling, or both")
+	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
+	flag.Parse()
+
+	var scheds []machine.SchedKind
+	switch *schedFlag {
+	case "calendar":
+		scheds = []machine.SchedKind{machine.SchedCalendar}
+	case "polling":
+		scheds = []machine.SchedKind{machine.SchedPolling}
+	case "both":
+		scheds = []machine.SchedKind{machine.SchedCalendar, machine.SchedPolling}
+	default:
+		fatal("unknown -sched %q (want calendar, polling, both)", *schedFlag)
+	}
+	models := []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO}
+
+	rep := Report{Scale: *scale, Seed: *seed, Reps: *reps}
+	fmt.Printf("%-10s %-6s %-9s %12s %14s %10s\n", "bench", "model", "sched", "best", "cycles", "Mcyc/s")
+	for _, name := range suite.Names() {
+		b, err := suite.ByName(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		set, err := b.Program.Generate(workload.Params{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal("%v", err)
+		}
+		rep.NCPU = set.NCPU()
+		for _, model := range models {
+			for _, sched := range scheds {
+				cfg := model.MachineConfig(machine.DefaultConfig())
+				cfg.Sched = sched
+				row := Row{Bench: name, Model: model.String(), Scheduler: sched.String()}
+				for r := 0; r < *reps; r++ {
+					if err := trace.Reset(set); err != nil {
+						fatal("%v", err)
+					}
+					start := time.Now()
+					res, err := machine.Run(set, cfg)
+					elapsed := time.Since(start)
+					if err != nil {
+						fatal("%s/%s/%s: %v", name, model, sched, err)
+					}
+					if row.BestNs == 0 || elapsed.Nanoseconds() < row.BestNs {
+						row.BestNs = elapsed.Nanoseconds()
+						row.Iterations = res.Sched.Iterations
+						row.Steps = res.Sched.Steps
+					}
+					if row.SimCycles == 0 {
+						row.SimCycles = res.RunTime
+					} else if row.SimCycles != res.RunTime {
+						fatal("%s/%s/%s: run time changed between repetitions: %d vs %d",
+							name, model, sched, row.SimCycles, res.RunTime)
+					}
+				}
+				row.MCyclesPS = float64(row.SimCycles) / 1e6 /
+					(float64(row.BestNs) / float64(time.Second))
+				rep.Rows = append(rep.Rows, row)
+				fmt.Printf("%-10s %-6s %-9s %12s %14d %10.1f\n",
+					row.Bench, row.Model, row.Scheduler,
+					time.Duration(row.BestNs).Round(time.Microsecond),
+					row.SimCycles, row.MCyclesPS)
+			}
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "schedbench: "+format+"\n", args...)
+	os.Exit(1)
+}

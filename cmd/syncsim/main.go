@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -67,6 +69,9 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the per-phase run report (generate/analyze/simulate wall time, throughput)")
 	hotLocks := flag.Int("locks", 0, "print the N hottest locks by acquisitions")
 	hist := flag.Bool("hist", false, "print the waiters-at-transfer histogram")
+	sched := flag.String("sched", "calendar", "simulation scheduler: calendar (event-driven) or polling (step every CPU every cycle)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	flag.Parse()
 
 	if *arch {
@@ -96,6 +101,26 @@ func main() {
 		cfg.Consistency = machine.WeakOrdering
 	default:
 		fatal("unknown consistency model %q (want sc or wo)", *cons)
+	}
+	switch *sched {
+	case "calendar":
+		cfg.Sched = machine.SchedCalendar
+	case "polling":
+		cfg.Sched = machine.SchedPolling
+	default:
+		fatal("unknown scheduler %q (want calendar or polling)", *sched)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -144,6 +169,8 @@ func main() {
 	rep.Wall = time.Since(genStart)
 	rep.Runs = 1
 	rep.SimCycles = res.RunTime
+	rep.SchedIters = res.Sched.Iterations
+	rep.SchedSteps = res.Sched.Steps
 
 	fmt.Printf("%s  (%d CPUs, lock=%s, consistency=%s)\n", res.Name, len(res.CPUs), cfg.Lock, cfg.Consistency)
 	fmt.Printf("  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
@@ -173,6 +200,8 @@ func main() {
 			fmt.Printf("            %d trace events (%.0f events/s simulated)\n",
 				events, float64(events)/rep.Simulate.Seconds())
 		}
+		fmt.Printf("            %s scheduler: %d iterations, %d steps (%.1f cycles/iteration)\n",
+			cfg.Sched, rep.SchedIters, rep.SchedSteps, rep.SchedEfficiency())
 	}
 	if *hotLocks > 0 {
 		fmt.Println("  hottest locks:")
@@ -219,6 +248,17 @@ func main() {
 				i, c.WorkCycles, c.FinishTime, 100*c.Utilization(),
 				c.StallMiss, c.StallLock, c.StallBarrier, c.StallDrain)
 		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		runtime.GC() // settle allocations so the heap profile reflects retention
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal("memprofile: %v", err)
+		}
+		f.Close()
 	}
 }
 

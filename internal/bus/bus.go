@@ -130,6 +130,7 @@ type Bus struct {
 	holder    int
 	rrNext    int // round-robin scan start
 	stats     Stats
+	notify    func(freeAt uint64)
 }
 
 // New creates a bus arbitrating among nreq requesters.
@@ -142,6 +143,12 @@ func New(nreq int, timing Timing) *Bus {
 
 // Timing returns the bus timing parameters.
 func (b *Bus) Timing() Timing { return b.timing }
+
+// Notify registers a callback invoked on every Occupy with the cycle at
+// which the bus becomes free again. An event-driven simulation loop uses
+// it to schedule the completion wakeup instead of polling BusyUntil; nil
+// disables notification.
+func (b *Bus) Notify(fn func(freeAt uint64)) { b.notify = fn }
 
 // Stats returns the running statistics.
 func (b *Bus) Stats() *Stats { return &b.stats }
@@ -170,9 +177,15 @@ func (b *Bus) Arbitrate(now uint64, ready func(i int) bool) (int, bool) {
 		return -1, false
 	}
 	for k := 0; k < b.nreq; k++ {
-		i := (b.rrNext + k) % b.nreq
+		i := b.rrNext + k
+		if i >= b.nreq { // branch instead of modulo: this scan is hot
+			i -= b.nreq
+		}
 		if ready(i) {
-			b.rrNext = (i + 1) % b.nreq
+			b.rrNext = i + 1
+			if b.rrNext >= b.nreq {
+				b.rrNext = 0
+			}
 			return i, true
 		}
 	}
@@ -193,5 +206,8 @@ func (b *Bus) Occupy(requester int, op Op, now, extra uint64) uint64 {
 	b.stats.BusyCycles += dur
 	b.stats.Grants[op]++
 	b.stats.ExtraCycles += extra
+	if b.notify != nil {
+		b.notify(b.busyUntil)
+	}
 	return b.busyUntil
 }

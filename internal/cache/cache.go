@@ -150,13 +150,15 @@ func (s *Stats) WriteHitRatio() float64 {
 // Cache is one processor's cache. It is not safe for concurrent use; the
 // simulator is single-threaded per machine.
 type Cache struct {
-	cfg       Config
-	lines     []line // sets × assoc, flattened
-	setMask   uint32
-	lineShift uint
-	assoc     int
-	clock     uint64 // LRU timestamp source
-	stats     Stats
+	cfg        Config
+	lines      []line // sets × assoc, flattened
+	setMask    uint32
+	lineShift  uint
+	tagShift   uint // lineShift + log2(sets), precomputed: tag() is hot
+	assoc      int
+	clock      uint64 // LRU timestamp source
+	stats      Stats
+	onResident func(lineAddr uint32, resident bool)
 }
 
 // New builds a cache with the given geometry. It panics if the geometry is
@@ -178,11 +180,20 @@ func New(cfg Config) *Cache {
 			break
 		}
 	}
+	c.tagShift = c.lineShift + uint(popcountMask(c.setMask))
 	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Notify registers a callback observing residency changes: fn(line, true)
+// when a line is installed, fn(line, false) when a valid line leaves (LRU
+// eviction, remote invalidation, or Flush). The machine uses it to keep a
+// line→holders index so bus snoops visit only the caches that actually
+// hold a copy; nil disables notification. State-only transitions (E→M,
+// upgrades, snoop downgrades to Shared) do not fire the callback.
+func (c *Cache) Notify(fn func(lineAddr uint32, resident bool)) { c.onResident = fn }
 
 // Stats returns a pointer to the cache's running statistics.
 func (c *Cache) Stats() *Stats { return &c.stats }
@@ -195,7 +206,7 @@ func (c *Cache) set(addr uint32) []line {
 }
 
 func (c *Cache) tag(addr uint32) uint32 {
-	return addr >> c.lineShift >> uint(popcountMask(c.setMask))
+	return addr >> c.tagShift
 }
 
 func popcountMask(mask uint32) int {
@@ -208,11 +219,13 @@ func popcountMask(mask uint32) int {
 }
 
 func (c *Cache) find(addr uint32) *line {
-	tag := c.tag(addr)
-	set := c.set(addr)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			return &set[i]
+	// Index the flat line array directly — building the set subslice costs
+	// more than the whole lookup on this hot path.
+	tag := addr >> c.tagShift
+	base := int((addr>>c.lineShift)&c.setMask) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.lines[i].state != Invalid && c.lines[i].tag == tag {
+			return &c.lines[i]
 		}
 	}
 	return nil
@@ -260,6 +273,38 @@ func (c *Cache) Probe(addr uint32, isWrite bool) ProbeResult {
 		c.stats.WriteHits++
 		c.stats.Upgrades++
 		return ProbeResult{Hit: true, Need: NeedUpgrade}
+	}
+}
+
+// ProbeFast applies Probe's pure-hit path in a single lookup: when the
+// access hits without needing any bus transaction it performs the hit
+// (statistics, LRU touch, silent E→M on a write) and returns true.
+// Otherwise it returns false having changed nothing — no statistics — so
+// the caller can check buffer space and run the full Probe later without
+// double counting. Splitting the cases this way lets the simulator's
+// reference hot path skip its pre-Probe space estimate for sure hits.
+func (c *Cache) ProbeFast(addr uint32, isWrite bool) bool {
+	ln := c.find(addr)
+	if ln == nil {
+		return false
+	}
+	if !isWrite {
+		c.stats.ReadHits++
+		c.touch(ln)
+		return true
+	}
+	switch ln.state {
+	case Modified:
+		c.stats.WriteHits++
+		c.touch(ln)
+		return true
+	case Exclusive:
+		c.stats.WriteHits++
+		ln.state = Modified
+		c.touch(ln)
+		return true
+	default: // Shared: the write needs an upgrade transaction
+		return false
 	}
 }
 
@@ -322,6 +367,12 @@ func (c *Cache) Fill(addr uint32, st State) (Victim, bool) {
 	victim.tag = c.tag(addr)
 	victim.state = st
 	c.touch(victim)
+	if c.onResident != nil {
+		if hadVictim {
+			c.onResident(evicted.Addr, false)
+		}
+		c.onResident(c.cfg.LineAddr(addr), true)
+	}
 	return evicted, hadVictim
 }
 
@@ -378,6 +429,9 @@ func (c *Cache) EvictFor(addr uint32) (Victim, bool) {
 		c.stats.WriteBacks++
 	}
 	victim.state = Invalid
+	if c.onResident != nil {
+		c.onResident(v.Addr, false)
+	}
 	return v, true
 }
 
@@ -445,6 +499,9 @@ func (c *Cache) Snoop(addr uint32, op SnoopOp) SnoopResult {
 		ln.state = Invalid
 		c.stats.Invalidated++
 	}
+	if ln.state == Invalid && c.onResident != nil {
+		c.onResident(c.cfg.LineAddr(addr), false)
+	}
 	return res
 }
 
@@ -453,13 +510,21 @@ func (c *Cache) Snoop(addr uint32, op SnoopOp) SnoopResult {
 func (c *Cache) Flush() []uint32 {
 	var dirty []uint32
 	sets := c.cfg.Sets()
+	setBits := uint(popcountMask(c.setMask))
 	for s := 0; s < sets; s++ {
 		for w := 0; w < c.assoc; w++ {
 			ln := &c.lines[s*c.assoc+w]
+			if ln.state == Invalid {
+				continue
+			}
+			addr := (ln.tag<<setBits | uint32(s)) << c.lineShift
 			if ln.state == Modified {
-				dirty = append(dirty, (ln.tag<<uint(popcountMask(c.setMask))|uint32(s))<<c.lineShift)
+				dirty = append(dirty, addr)
 			}
 			ln.state = Invalid
+			if c.onResident != nil {
+				c.onResident(addr, false)
+			}
 		}
 	}
 	return dirty

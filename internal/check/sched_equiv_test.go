@@ -1,0 +1,69 @@
+package check
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"syncsim/internal/core"
+	"syncsim/internal/machine"
+)
+
+// TestSchedulerEquivalence pins the wakeup-calendar scheduler to the
+// retained polling loop bit-for-bit: every Result field — run time, every
+// per-CPU stall counter, cache/bus/memory/lock statistics — must be
+// identical across all six benchmarks and all three machine models at the
+// golden corpus scale. Only Config (which records the scheduler choice)
+// and Sched (the loop's own work counters, whose difference IS the
+// optimisation) are excluded from the comparison.
+func TestSchedulerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 6×3 matrix twice")
+	}
+	runWith := func(sched machine.SchedKind) []*core.Outcome {
+		t.Helper()
+		cfg := machine.DefaultConfig()
+		cfg.Sched = sched
+		outs, err := core.RunSuiteCtx(context.Background(), core.Options{
+			Scale:   GoldenScale,
+			Seed:    GoldenSeed,
+			Machine: &cfg,
+		})
+		if err != nil {
+			t.Fatalf("suite under %v scheduler: %v", sched, err)
+		}
+		return outs
+	}
+	calendar := runWith(machine.SchedCalendar)
+	polling := runWith(machine.SchedPolling)
+
+	if len(calendar) != len(polling) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(calendar), len(polling))
+	}
+	for i := range calendar {
+		co, po := calendar[i], polling[i]
+		if co.Name != po.Name {
+			t.Fatalf("benchmark order diverged: %s vs %s", co.Name, po.Name)
+		}
+		for _, model := range []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO} {
+			cr, ok := co.Results[model]
+			if !ok {
+				t.Fatalf("%s/%v: missing calendar result", co.Name, model)
+			}
+			pr := po.Results[model]
+			c, p := *cr, *pr
+			c.Config, p.Config = machine.Config{}, machine.Config{}
+			c.Sched, p.Sched = machine.SchedStats{}, machine.SchedStats{}
+			if !reflect.DeepEqual(c, p) {
+				t.Errorf("%s/%v: calendar and polling results diverge:\n calendar: %+v\n polling:  %+v",
+					co.Name, model, c, p)
+			}
+			// The calendar must actually be doing less work, not just the
+			// same sweep under a new name.
+			if cr.Sched.Steps >= pr.Sched.Steps {
+				t.Errorf("%s/%v: calendar stepped %d times, polling %d — no work saved",
+					co.Name, model, cr.Sched.Steps, pr.Sched.Steps)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+)
+
+// gatedProgram wraps fakeProgram so a test can hold Generate open: each call
+// signals entered, then blocks until release is closed. This pins a fill in
+// flight while other lookups for the same key arrive.
+type gatedProgram struct {
+	fakeProgram
+	entered chan struct{} // one signal per Generate entry (buffered)
+	release chan struct{} // closed to let Generate proceed
+}
+
+func (p *gatedProgram) Generate(q workload.Params) (*trace.Set, error) {
+	p.entered <- struct{}{}
+	<-p.release
+	return p.fakeProgram.Generate(q)
+}
+
+func newGatedProgram(calls *atomic.Int32) *gatedProgram {
+	return &gatedProgram{
+		fakeProgram: fakeProgram{name: "Gated", ncpu: 2, pairs: 10, genCalls: calls},
+		entered:     make(chan struct{}, 4),
+		release:     make(chan struct{}),
+	}
+}
+
+// TestCacheCrossCancellation is the regression test for the single-flight
+// poisoning bug: a waiter blocked on a concurrent fill used to inherit the
+// FILLER's ctx.Err() when the filler was cancelled mid-generation. The
+// waiter's context is alive, so it must retry the lookup and succeed.
+func TestCacheCrossCancellation(t *testing.T) {
+	var calls atomic.Int32
+	p := newGatedProgram(&calls)
+	c := NewTraceCache()
+	params := workload.Params{Scale: 1, Seed: 1}
+
+	fillerCtx, cancelFiller := context.WithCancel(context.Background())
+	defer cancelFiller()
+	fillerErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Get(fillerCtx, p, params, nil)
+		fillerErr <- err
+	}()
+	<-p.entered // the filler is inside Generate; its entry is published
+
+	var waiterInfo CacheInfo
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, info, err := c.Get(context.Background(), p, params, nil)
+		waiterInfo = info
+		waiterErr <- err
+	}()
+	// No event marks "waiter parked on the entry"; the sleep just makes that
+	// interleaving overwhelmingly likely. The retry path is correct either
+	// way — if the waiter arrives after the eviction it simply fills fresh.
+	time.Sleep(20 * time.Millisecond)
+
+	cancelFiller()
+	close(p.release)
+
+	if err := <-fillerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("filler err = %v, want its own context.Canceled", err)
+	}
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("waiter with a live context inherited the filler's cancellation: %v", err)
+	}
+	if waiterInfo.Hit {
+		t.Error("waiter reported a cache hit; it must have regenerated after the aborted fill")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("Generate called %d times, want 2 (aborted fill + waiter's retry)", got)
+	}
+}
+
+// TestCacheWaiterOwnCancellation checks the other half of the contract: a
+// waiter whose OWN context is dead reports its own error and does not
+// trigger a regeneration.
+func TestCacheWaiterOwnCancellation(t *testing.T) {
+	var calls atomic.Int32
+	p := newGatedProgram(&calls)
+	c := NewTraceCache()
+	params := workload.Params{Scale: 1, Seed: 1}
+
+	fillerCtx, cancelFiller := context.WithCancel(context.Background())
+	defer cancelFiller()
+	fillerErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Get(fillerCtx, p, params, nil)
+		fillerErr <- err
+	}()
+	<-p.entered
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.Get(waiterCtx, p, params, nil)
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	cancelWaiter()
+	cancelFiller()
+	close(p.release)
+
+	if err := <-fillerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("filler err = %v, want context.Canceled", err)
+	}
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("Generate called %d times, want 1 (no retry for a dead waiter)", got)
+	}
+}

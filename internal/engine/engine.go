@@ -115,6 +115,8 @@ func (e *Engine) Run(ctx context.Context, tasks []Task) ([]TaskResult, metrics.S
 		misses   = reg.Counter("trace_cache_misses")
 		busy     = reg.Counter("worker_busy_ns")
 		cycles   = reg.Counter("sim_cycles")
+		iters    = reg.Counter("sched_iterations")
+		steps    = reg.Counter("sched_steps")
 		generate = reg.Timer("phase_generate")
 		analyze  = reg.Timer("phase_analyze")
 		simulate = reg.Timer("phase_simulate")
@@ -155,6 +157,7 @@ func (e *Engine) Run(ctx context.Context, tasks []Task) ([]TaskResult, metrics.S
 				t0 := time.Now()
 				res, err := e.runTask(runCtx, &tasks[i], taskMetrics{
 					hits: hits, misses: misses, cycles: cycles,
+					iters: iters, steps: steps,
 					generate: generate, analyze: analyze, simulate: simulate,
 				})
 				busy.Add(int64(time.Since(t0)))
@@ -188,6 +191,8 @@ feeding:
 		Simulate:    simulate.Total(),
 		Busy:        time.Duration(busy.Value()),
 		SimCycles:   uint64(cycles.Value()),
+		SchedIters:  uint64(iters.Value()),
+		SchedSteps:  uint64(steps.Value()),
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, report, err
@@ -201,6 +206,7 @@ feeding:
 // taskMetrics bundles the registry handles a task updates.
 type taskMetrics struct {
 	hits, misses, cycles        *metrics.Counter
+	iters, steps                *metrics.Counter
 	generate, analyze, simulate *metrics.Timer
 }
 
@@ -235,6 +241,8 @@ func (e *Engine) runTask(ctx context.Context, t *Task, tm taskMetrics) (TaskResu
 		simWall = time.Since(simStart)
 		tm.simulate.Observe(simWall)
 		tm.cycles.Add(int64(res.RunTime))
+		tm.iters.Add(int64(res.Sched.Iterations))
+		tm.steps.Add(int64(res.Sched.Steps))
 		out.Result = res
 	}
 	if t.Metrics {
@@ -245,6 +253,10 @@ func (e *Engine) runTask(ctx context.Context, t *Task, tm taskMetrics) (TaskResu
 			Wall:      time.Since(wallStart),
 			Runs:      1,
 			SimCycles: simCycles(out.Result),
+		}
+		if out.Result != nil {
+			out.Report.SchedIters = out.Result.Sched.Iterations
+			out.Report.SchedSteps = out.Result.Sched.Steps
 		}
 		if info.Hit {
 			out.Report.CacheHits = 1

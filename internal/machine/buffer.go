@@ -87,6 +87,15 @@ type buffer struct {
 	entries []entry
 	depth   int
 	removed uint64 // lifetime count of completed entries, for conservation checks
+
+	// wbPending, when non-nil, points at a machine-wide count of buffered
+	// write-back entries, kept current across push/remove so the coherence
+	// paths can skip their per-processor buffer scans when it is zero.
+	wbPending *int
+	// occupied, when non-nil, points at a machine-wide count of non-empty
+	// buffers, letting the run loops skip bus arbitration when no
+	// processor has anything to issue.
+	occupied *int
 }
 
 func newBuffer(depth int) *buffer {
@@ -105,6 +114,12 @@ func (b *buffer) push(e entry) {
 	if b.full() {
 		panic("machine: push on full cache-bus buffer")
 	}
+	if e.kind == entWriteBack && b.wbPending != nil {
+		*b.wbPending++
+	}
+	if len(b.entries) == 0 && b.occupied != nil {
+		*b.occupied++
+	}
 	b.entries = append(b.entries, e)
 }
 
@@ -114,6 +129,12 @@ func (b *buffer) push(e entry) {
 func (b *buffer) pushFront(e entry) {
 	if b.full() {
 		panic("machine: pushFront on full cache-bus buffer")
+	}
+	if e.kind == entWriteBack && b.wbPending != nil {
+		*b.wbPending++
+	}
+	if len(b.entries) == 0 && b.occupied != nil {
+		*b.occupied++
 	}
 	b.entries = append(b.entries, entry{})
 	copy(b.entries[1:], b.entries)
@@ -147,7 +168,13 @@ func (b *buffer) find(pred func(*entry) bool) (*entry, bool) {
 func (b *buffer) remove(target *entry) {
 	for i := range b.entries {
 		if &b.entries[i] == target {
+			if target.kind == entWriteBack && b.wbPending != nil {
+				*b.wbPending--
+			}
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			if len(b.entries) == 0 && b.occupied != nil {
+				*b.occupied--
+			}
 			b.removed++
 			return
 		}

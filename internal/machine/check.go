@@ -151,8 +151,51 @@ func (k *checker) sweep() error {
 			return err
 		}
 	}
+	if err := k.checkHolderIndex(); err != nil {
+		return err
+	}
 	if err := m.locks.CheckInvariants(); err != nil {
 		return invariantf("%v", err)
+	}
+	return nil
+}
+
+// checkHolderIndex validates the machine's derived coherence bookkeeping
+// against ground truth: the line→holders index must match exactly what the
+// caches hold, and the buffered write-back count must match the buffers.
+// Both are pure accelerators for the snoop paths, so any drift here means
+// snoops could be skipped and the simulation silently diverge.
+func (k *checker) checkHolderIndex() error {
+	m := k.m
+	wbs := 0
+	for _, c := range m.cpus {
+		for i := range c.buf.entries {
+			if c.buf.entries[i].kind == entWriteBack {
+				wbs++
+			}
+		}
+	}
+	if wbs != m.wbPending {
+		return invariantf("write-back count drifted: index says %d, buffers hold %d", m.wbPending, wbs)
+	}
+	if m.holders == nil {
+		return nil
+	}
+	want := make(map[uint32]uint64, len(m.holders))
+	for i, c := range m.cpus {
+		bit := uint64(1) << uint(i)
+		c.cache.ForEachLine(func(addr uint32, st cache.State) {
+			want[addr] |= bit
+		})
+	}
+	if len(want) != len(m.holders) {
+		return invariantf("holder index drifted: %d lines indexed, %d resident", len(m.holders), len(want))
+	}
+	for line, mask := range want {
+		if m.holders[line] != mask {
+			return invariantf("holder index drifted on line %#x: indexed %#x, resident %#x%s",
+				line, m.holders[line], mask, m.lineHolders(line))
+		}
 	}
 	return nil
 }

@@ -44,6 +44,34 @@ func (c Consistency) String() string {
 	}
 }
 
+// SchedKind selects the simulation-loop scheduler. Both schedulers are
+// cycle-exact — they produce bit-identical results — and differ only in
+// how they find the work of each simulated cycle.
+type SchedKind uint8
+
+const (
+	// SchedCalendar (the default) drives the machine off a wakeup
+	// calendar: min-heaps of component wakeup times plus a dirty set of
+	// perturbed processors, so each visited cycle steps only the CPUs
+	// that can act and the next cycle is a heap pop.
+	SchedCalendar SchedKind = iota
+	// SchedPolling is the original loop: every visited cycle steps every
+	// processor and rescans every component for the next event time. Kept
+	// for differential testing against the calendar scheduler.
+	SchedPolling
+)
+
+func (s SchedKind) String() string {
+	switch s {
+	case SchedCalendar:
+		return "calendar"
+	case SchedPolling:
+		return "polling"
+	default:
+		return fmt.Sprintf("SchedKind(%d)", uint8(s))
+	}
+}
+
 // Config assembles the architectural parameters of a simulated machine.
 type Config struct {
 	Cache       cache.Config
@@ -52,6 +80,10 @@ type Config struct {
 	BufDepth    int // cache-bus interface buffer entries (paper: 4)
 	Lock        locks.Algorithm
 	Consistency Consistency
+
+	// Sched selects the run-loop scheduler; both produce identical
+	// results (see SchedKind). The zero value is the calendar scheduler.
+	Sched SchedKind
 
 	// BackoffBase and BackoffMax bound the exponential backoff of the
 	// TTSBackoff lock algorithm, in cycles. Zero values select defaults
@@ -73,8 +105,10 @@ type Config struct {
 	// coherence errors.
 	Fault Fault
 
-	// MaxCycles aborts the run if the simulated clock exceeds it
-	// (deadlock guard). Zero means no limit.
+	// MaxCycles aborts the run as soon as the simulated clock reaches it
+	// (deadlock guard): cycles 0..MaxCycles-1 may execute, and a machine
+	// still incomplete at cycle MaxCycles fails exactly there. Zero means
+	// no limit.
 	MaxCycles uint64
 	// CancelEvery is the simulation-loop iteration interval at which
 	// RunCtx polls its context for cancellation or deadline expiry. The
@@ -123,6 +157,11 @@ func (c Config) Validate() error {
 	case SeqConsistent, WeakOrdering:
 	default:
 		return fmt.Errorf("machine: unknown consistency model %v", c.Consistency)
+	}
+	switch c.Sched {
+	case SchedCalendar, SchedPolling:
+	default:
+		return fmt.Errorf("machine: unknown scheduler %v", c.Sched)
 	}
 	switch c.Fault {
 	case FaultNone, FaultSkipInvalidate:

@@ -222,6 +222,7 @@ func (m *Machine) step(c *cpu, now uint64) {
 			c.endStall(now)
 			c.state = stDone
 			c.finish = now
+			m.nDone++ // the only transition into stDone; allDone counts these
 			return
 
 		case stStall, stWaitGrant, stBarrier, stDone:
@@ -382,6 +383,13 @@ func (m *Machine) access(c *cpu, ev trace.Event, isWrite bool, now uint64) bool 
 		c.beginStall(causeMiss, now)
 		c.state = stStall
 		return false
+	}
+
+	// Sure hits (the common case) complete in one cache lookup: no buffer
+	// space is needed and no statistics can double-count.
+	if c.cache.ProbeFast(ev.Addr, isWrite) {
+		c.refs++
+		return true
 	}
 
 	if !m.reserveSlots(c, ev.Addr, isWrite) {
@@ -631,6 +639,13 @@ func (m *Machine) barrierJoin(c *cpu, id uint32, now uint64) bool {
 			w := m.cpus[id]
 			w.endStall(now)
 			w.state = stFetch
+			if m.sched != nil && id != c.id {
+				// Released waiters after the arriving processor in index
+				// order are stepped later in this cycle's sweep; earlier
+				// ones keep their mark and step at now+1 — matching the
+				// polling loop's single in-order sweep.
+				m.sched.mark(id)
+			}
 		}
 		b.waiting = b.waiting[:0]
 		b.episodes++

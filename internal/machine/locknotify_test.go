@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"testing"
+
+	"syncsim/internal/cache"
+	"syncsim/internal/locks"
+	"syncsim/internal/trace"
+)
+
+// TestLockNotifyLineNormalised is the regression test for the exact
+// queuing lock's notify write carrying a RAW spin address instead of a
+// line address. Spin locations are laid out 64 bytes apart; with
+// LineSize: 128 neighbouring processors' spin words share one cache line,
+// so spinAddr(1) = 0xF800_0040 is not line-aligned. Buffer entries feed
+// exact-match coherence machinery (pendingWriteBack, pendingFill,
+// checkLine) that keys on line-aligned addresses, so an unaligned entry
+// silently falls out of those checks. The notify must be normalised
+// through LineAddr exactly like the waiter's respin read.
+func TestLockNotifyLineNormalised(t *testing.T) {
+	cfg := defCfg()
+	cfg.Lock = locks.QueueExact
+	cfg.Cache.LineSize = 128
+	set := trace.BufferSet("notify", [][]trace.Event{
+		{trace.Exec(1)}, {trace.Exec(1)},
+	})
+	m, err := New(set, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Seed the lock table mid-protocol: cpu 0 owns lock 5, cpu 1 is queued
+	// and parked awaiting its hand-off, with its spin line cached from
+	// spinning on it.
+	const lockID = 5
+	if !m.locks.Request(0, lockID, 0xF000_0000, 0) {
+		t.Fatal("cpu 0 failed to acquire the free lock")
+	}
+	if m.locks.Request(1, lockID, 0xF000_0000, 0) {
+		t.Fatal("cpu 1 acquired a held lock")
+	}
+	spinLine := cfg.Cache.LineAddr(spinAddr(1))
+	if spinLine == spinAddr(1) {
+		t.Fatal("test needs an unaligned spin address; widen LineSize")
+	}
+	m.cpus[1].cache.Fill(spinLine, cache.Shared)
+	m.cpus[1].state = stWaitGrant
+
+	// Complete cpu 0's release transaction directly: the QueueExact path
+	// must queue a notify write to cpu 1's spin location.
+	rel := entry{id: m.nextEntryID(), kind: entLockRelease,
+		line: 0xF000_0000, lockID: lockID, blocking: true}
+	m.cpus[0].buf.push(rel)
+	m.cpus[0].state = stStall
+	m.txn = busTxn{active: true, kind: txnLockRel, start: 0, at: 0,
+		cpu: 0, entryID: rel.id, lockID: lockID, line: rel.line}
+	m.completeTxn()
+
+	e, ok := m.cpus[0].buf.issuable()
+	if !ok || e.kind != entLockNotify {
+		t.Fatalf("release did not queue a notify write (entry %+v, ok=%v)", e, ok)
+	}
+	if e.line != spinLine {
+		t.Fatalf("notify line = %#x, want line-aligned %#x (raw spin address leaked)",
+			e.line, spinLine)
+	}
+
+	// The notify's snoop must kill the waiter's cached spin copy so its
+	// respin read misses and fetches the new value.
+	m.grant(0)
+	if st := m.cpus[1].cache.Peek(spinLine); st != cache.Invalid {
+		t.Fatalf("waiter's spin line still %v after notify snoop, want Invalid", st)
+	}
+}

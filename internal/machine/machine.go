@@ -3,6 +3,7 @@ package machine
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"syncsim/internal/bus"
 	"syncsim/internal/cache"
@@ -66,10 +67,35 @@ type Machine struct {
 	barriers map[uint32]*barrierState
 	lineBusy map[uint32]int // lines with an outstanding memory fill
 
+	// holders maps a line address to the bitmask of processors whose cache
+	// holds it, maintained through each cache's residency Notify hook. It
+	// lets applySnoops and hasSupplier visit only actual holders instead of
+	// probing every cache per transaction. nil when NCPU exceeds the mask
+	// width; the full-scan paths remain as the fallback.
+	holders map[uint32]uint64
+	// wbPending counts write-back entries across all cache-bus buffers.
+	// Zero (the common case) skips the per-processor pending-write-back
+	// scans in applySnoops and hasSupplier. It may transiently include
+	// in-flight write-backs, which only costs an unnecessary scan.
+	wbPending int
+	// occupiedBufs counts processors whose cache-bus buffer is non-empty.
+	// With no buffered entry and no queued memory response, nobody can win
+	// arbitration, so the run loops skip the bus scan outright.
+	occupiedBufs int
+	// nDone counts processors that have retired their trace (entered
+	// stDone, which no state ever leaves), making allDone O(1).
+	nDone int
+
 	txn       busTxn
 	entryID   uint64
 	now       uint64
 	droppedWB uint64
+
+	// sched is the wakeup calendar; nil under SchedPolling, in which case
+	// every scheduler hook is a no-op and the original loop runs.
+	sched *scheduler
+	iters uint64 // visited simulation cycles
+	steps uint64 // cpu step() invocations
 
 	checker *checker // non-nil when Config.Check is set
 }
@@ -91,18 +117,44 @@ func New(set *trace.Set, cfg Config) (*Machine, error) {
 		barriers: make(map[uint32]*barrierState),
 		lineBusy: make(map[uint32]int),
 	}
+	if set.NCPU() <= 64 {
+		m.holders = make(map[uint32]uint64)
+	}
 	for i, src := range set.Sources {
-		m.cpus = append(m.cpus, &cpu{
+		c := &cpu{
 			id:    i,
 			src:   src,
 			cache: cache.New(cfg.Cache),
 			buf:   newBuffer(cfg.BufDepth),
 			state: stFetch,
-		})
+		}
+		c.buf.wbPending = &m.wbPending
+		c.buf.occupied = &m.occupiedBufs
+		if m.holders != nil {
+			bit := uint64(1) << uint(i)
+			c.cache.Notify(func(line uint32, resident bool) {
+				if resident {
+					m.holders[line] |= bit
+				} else if mask := m.holders[line] &^ bit; mask == 0 {
+					delete(m.holders, line)
+				} else {
+					m.holders[line] = mask
+				}
+			})
+		}
+		m.cpus = append(m.cpus, c)
 	}
 	if cfg.Check {
 		m.checker = newChecker(m)
 		m.locks.EnableAudit()
+	}
+	if cfg.Sched == SchedCalendar {
+		m.sched = newScheduler(len(m.cpus))
+		// Event registration: the bus and the memory module announce
+		// completion times as transactions start, replacing the polling
+		// loop's per-iteration NextEventAt/Free scans.
+		m.bus.Notify(m.sched.pushTime)
+		m.mem.Notify(m.sched.pushTime)
 	}
 	return m, nil
 }
@@ -138,20 +190,71 @@ func (m *Machine) Run() (*Result, error) { return m.RunCtx(context.Background())
 // ctx is done, whichever comes first. Cancellation returns a wrapped
 // ctx.Err() (errors.Is-able against context.Canceled / DeadlineExceeded).
 func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
-	const defaultProgressWindow = 1 << 20
-	window := m.cfg.ProgressWindow
-	if window == 0 {
-		window = defaultProgressWindow
-	}
-	checkEvery := m.cfg.CancelEvery
-	if checkEvery == 0 {
-		checkEvery = 1 << 13
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
 	}
+	var err error
+	if m.sched != nil {
+		err = m.runCalendar(ctx)
+	} else {
+		err = m.runPolling(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m.checker != nil {
+		if err := m.checker.final(); err != nil {
+			return nil, err
+		}
+	}
+	return m.result(), nil
+}
+
+// progressWindow returns the effective no-progress abort threshold.
+func (m *Machine) progressWindow() uint64 {
+	const defaultProgressWindow = 1 << 20
+	if m.cfg.ProgressWindow == 0 {
+		return defaultProgressWindow
+	}
+	return m.cfg.ProgressWindow
+}
+
+// cancelEvery returns the effective cancellation polling interval.
+func (m *Machine) cancelEvery() uint64 {
+	if m.cfg.CancelEvery == 0 {
+		return 1 << 13
+	}
+	return m.cfg.CancelEvery
+}
+
+// maxCyclesErr builds the MaxCycles abort error. The bound is inclusive:
+// the clock reaching MaxCycles without completion is the failure, and no
+// work executes at or beyond it.
+func (m *Machine) maxCyclesErr() error {
+	return fmt.Errorf("machine: %s reached MaxCycles=%d at cycle %d: %s",
+		m.name, m.cfg.MaxCycles, m.now, m.stateDump())
+}
+
+// clampToMaxCycles caps a clock advance at the MaxCycles bound so the
+// guard trips exactly at the configured cycle even when the next event
+// lies beyond it.
+func (m *Machine) clampToMaxCycles(next uint64) uint64 {
+	if m.cfg.MaxCycles > 0 && next > m.cfg.MaxCycles {
+		return m.cfg.MaxCycles
+	}
+	return next
+}
+
+// runPolling is the original main loop: every visited cycle steps every
+// processor and rescans every component for the next event time. It is
+// retained for differential testing against the calendar scheduler
+// (TestSchedulerEquivalence) and remains selectable via SchedPolling.
+func (m *Machine) runPolling(ctx context.Context) error {
+	window := m.progressWindow()
+	checkEvery := m.cancelEvery()
 	idleIters := uint64(0)
 	sinceCheck := uint64(0)
+	ready := m.ready // hoisted: a method value allocates per evaluation
 	for {
 		if m.allDone() {
 			break
@@ -159,13 +262,13 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 		if sinceCheck++; sinceCheck >= checkEvery {
 			sinceCheck = 0
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
+				return fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
 			}
 		}
-		if m.cfg.MaxCycles > 0 && m.now > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("machine: %s exceeded MaxCycles=%d: %s",
-				m.name, m.cfg.MaxCycles, m.stateDump())
+		if m.cfg.MaxCycles > 0 && m.now >= m.cfg.MaxCycles {
+			return m.maxCyclesErr()
 		}
+		m.iters++
 		progress := false
 
 		// Phase A: complete the bus transaction ending now; advance the
@@ -175,7 +278,7 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 			m.completeTxn()
 			if m.checker != nil {
 				if err := m.checker.afterTxn(t); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			progress = true
@@ -189,16 +292,22 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 		for _, c := range m.cpus {
 			before := c.state
 			beforeBusy := c.busyUntil
+			m.steps++
 			m.step(c, m.now)
 			if c.state != before || c.busyUntil != beforeBusy {
 				progress = true
 			}
 		}
 
-		// Phase C: arbitration.
-		if granted, ok := m.bus.Arbitrate(m.now, m.ready); ok {
-			m.grant(granted)
-			progress = true
+		// Phase C: arbitration. With every buffer empty and no queued
+		// memory response there is no possible grantee, and a grantless
+		// Arbitrate leaves no trace (rrNext only moves on a grant), so the
+		// scan is skipped outright.
+		if m.occupiedBufs != 0 || m.mem.HasResponse() {
+			if granted, ok := m.bus.Arbitrate(m.now, ready); ok {
+				m.grant(granted)
+				progress = true
+			}
 		}
 
 		if progress {
@@ -206,7 +315,7 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 		} else {
 			idleIters++
 			if idleIters > window {
-				return nil, fmt.Errorf("machine: %s made no progress for %d iterations at cycle %d (deadlock?): %s",
+				return fmt.Errorf("machine: %s made no progress for %d iterations at cycle %d (deadlock?): %s",
 					m.name, idleIters, m.now, m.stateDump())
 			}
 		}
@@ -216,26 +325,163 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 			if m.allDone() {
 				break
 			}
-			return nil, fmt.Errorf("machine: %s deadlocked at cycle %d: %s", m.name, m.now, m.stateDump())
+			return fmt.Errorf("machine: %s deadlocked at cycle %d: %s", m.name, m.now, m.stateDump())
 		}
-		m.now = next
+		m.now = m.clampToMaxCycles(next)
 	}
-	if m.checker != nil {
-		if err := m.checker.final(); err != nil {
-			return nil, err
-		}
-	}
-	return m.result(), nil
+	return nil
 }
 
-func (m *Machine) allDone() bool {
-	for _, c := range m.cpus {
-		if c.state != stDone {
-			return false
-		}
+// runCalendar is the default main loop: a wakeup-calendar scheduler. Each
+// visited cycle runs the same three phases as runPolling, but phase B
+// steps only CPUs that are dirty (perturbed at this cycle by a completed
+// transaction, snoop, lock grant or barrier release) or due (a timed
+// wakeup arrived), and the next visited cycle is a heap pop instead of an
+// O(P) rescan. See the commentary in sched.go for why this is cycle-exact.
+func (m *Machine) runCalendar(ctx context.Context) error {
+	s := m.sched
+	window := m.progressWindow()
+	checkEvery := m.cancelEvery()
+	idleIters := uint64(0)
+	sinceCheck := uint64(0)
+	ready := m.ready // hoisted: a method value allocates per evaluation
+
+	// Every processor starts in stFetch and must consume its first trace
+	// events at cycle 0.
+	for id := range m.cpus {
+		s.mark(id)
 	}
-	return true
+
+	for {
+		if m.allDone() {
+			break
+		}
+		if sinceCheck++; sinceCheck >= checkEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
+			}
+		}
+		if m.cfg.MaxCycles > 0 && m.now >= m.cfg.MaxCycles {
+			return m.maxCyclesErr()
+		}
+		m.iters++
+		progress := false
+		// Drain next-cycle wakeups scheduled for this cycle and re-arm the
+		// fast path before any phase runs: phase A and C wakes all target
+		// now+1 and must land in the fresh mask.
+		s.startCycle(m.now)
+
+		// Phase A: complete the bus transaction ending now; advance the
+		// memory pipeline. Transaction completion marks the perturbed
+		// CPUs dirty; the memory module registers its own completion
+		// wakeup through the Notify hook inside Tick.
+		if m.txn.active && m.now >= m.txn.at {
+			t := m.txn
+			m.completeTxn()
+			if m.checker != nil {
+				if err := m.checker.afterTxn(t); err != nil {
+					return err
+				}
+			}
+			progress = true
+		}
+		m.mem.Tick(m.now)
+
+		// Phase B: step only dirty or due processors, in index order —
+		// the same order the polling loop's full sweep visits them, which
+		// matters when a step releases a barrier mid-sweep. A CPU marked
+		// dirty at an index the sweep has already passed (a barrier
+		// releasing lower-indexed waiters) keeps its mark and is stepped
+		// at now+1, exactly as the polling loop would.
+		s.drainDue(m.now)
+		if s.ndirty > 0 {
+			// Walk set bits with an advancing cursor rather than ranging
+			// over every CPU: a step that marks a higher index is caught
+			// later this sweep, one that marks a lower (or its own) index
+			// keeps the mark for the now+1 carryover — identical to the
+			// full-range scan. CPUs ≥ 64 (beyond the mask) use the
+			// fallback scan below.
+			for cursor := 0; cursor < 64; {
+				w := s.dirtyMask >> uint(cursor)
+				if w == 0 {
+					break
+				}
+				id := cursor + bits.TrailingZeros64(w)
+				cursor = id + 1
+				c := m.cpus[id]
+				s.unmark(id)
+				before := c.state
+				beforeBusy := c.busyUntil
+				m.steps++
+				m.step(c, m.now)
+				if c.state != before || c.busyUntil != beforeBusy {
+					progress = true
+				}
+				// Timed states are the only ones that wake by clock
+				// alone; every other blocked state is woken by an event
+				// hook.
+				switch c.state {
+				case stRun, stTTSBackoff:
+					s.wake(id, c.busyUntil)
+				}
+			}
+			for id := 64; id < len(m.cpus); id++ {
+				if !s.dirty[id] {
+					continue
+				}
+				c := m.cpus[id]
+				s.unmark(id)
+				before := c.state
+				beforeBusy := c.busyUntil
+				m.steps++
+				m.step(c, m.now)
+				if c.state != before || c.busyUntil != beforeBusy {
+					progress = true
+				}
+				switch c.state {
+				case stRun, stTTSBackoff:
+					s.wake(id, c.busyUntil)
+				}
+			}
+			if s.ndirty > 0 {
+				s.pushTime(m.now + 1)
+			}
+		}
+
+		// Phase C: arbitration, skipped when nobody can be granted (see
+		// runPolling). A successful grant schedules the bus-free wakeup
+		// through the bus Notify hook inside Occupy.
+		if m.occupiedBufs != 0 || m.mem.HasResponse() {
+			if granted, ok := m.bus.Arbitrate(m.now, ready); ok {
+				m.grant(granted)
+				progress = true
+			}
+		}
+
+		if progress {
+			idleIters = 0
+		} else {
+			idleIters++
+			if idleIters > window {
+				return fmt.Errorf("machine: %s made no progress for %d iterations at cycle %d (deadlock?): %s",
+					m.name, idleIters, m.now, m.stateDump())
+			}
+		}
+
+		next, ok := s.nextAfter(m.now)
+		if !ok {
+			if m.allDone() {
+				break
+			}
+			return fmt.Errorf("machine: %s deadlocked at cycle %d: %s", m.name, m.now, m.stateDump())
+		}
+		m.now = m.clampToMaxCycles(next)
+	}
+	return nil
 }
+
+func (m *Machine) allDone() bool { return m.nDone == len(m.cpus) }
 
 // nextTime computes the earliest future cycle at which anything can happen.
 func (m *Machine) nextTime() (uint64, bool) {
@@ -300,13 +546,19 @@ func (m *Machine) ready(i int) bool {
 	switch e.kind {
 	case entRead, entReadOwn:
 		line := e.line
-		if m.lineBusy[line] > 0 {
+		// len check first: the map is empty whenever no memory miss is in
+		// flight, and a map lookup costs far more than the guard.
+		if len(m.lineBusy) != 0 && m.lineBusy[line] > 0 {
 			return false // pending-miss conflict: wait for the response
 		}
-		if m.hasSupplier(i, line) {
+		// Grantable if memory can take the request OR a cache can supply;
+		// check the O(1) memory test first — the O(P) supplier scan only
+		// decides admission when the memory input buffer is full. (grant
+		// re-derives the actual supplier by snooping either way.)
+		if m.mem.CanAccept() {
 			return true
 		}
-		return m.mem.CanAccept()
+		return m.hasSupplier(i, line)
 	case entUpgrade:
 		return true
 	case entWriteBack, entLockAcquire, entLockRelease, entLockNotify:
@@ -320,6 +572,23 @@ func (m *Machine) ready(i int) bool {
 // write-back holds the line (Illinois supplies cache-to-cache even when
 // clean; buffered dirty lines are coherence-visible).
 func (m *Machine) hasSupplier(requester int, line uint32) bool {
+	if m.holders != nil {
+		if m.holders[line]&^(uint64(1)<<uint(requester)) != 0 {
+			return true
+		}
+		if m.wbPending == 0 {
+			return false
+		}
+		for j, c := range m.cpus {
+			if j == requester {
+				continue
+			}
+			if _, ok := c.buf.pendingWriteBack(line); ok {
+				return true
+			}
+		}
+		return false
+	}
 	for j, c := range m.cpus {
 		if j == requester {
 			continue
@@ -343,6 +612,51 @@ func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (sup
 		op = cache.SnoopRead
 	}
 	invalidating := op != cache.SnoopRead
+	if m.holders != nil {
+		// Snoop only the caches that hold the line, in ascending processor
+		// order like the full scan below. The mask is read once up front:
+		// invalidations prune m.holders through the residency hook while
+		// the loop runs.
+		for mask := m.holders[line] &^ (uint64(1) << uint(requester)); mask != 0; mask &= mask - 1 {
+			j := bits.TrailingZeros64(mask)
+			c := m.cpus[j]
+			res := c.cache.Snoop(line, op)
+			if res.HadCopy {
+				supplied = true
+				if invalidating && c.state == stTTSSpin &&
+					m.cfg.Cache.LineAddr(c.ttsLockAddr) == line {
+					c.ttsReread = true
+					// Snoops run at grant time, after this cycle's phase
+					// B, so the spinner re-tests at the next cycle — as
+					// the polling loop's full sweep would.
+					if m.sched != nil {
+						m.sched.wake(j, m.now+1)
+					}
+				}
+			}
+		}
+		if m.wbPending != 0 {
+			for j, c := range m.cpus {
+				if j == requester {
+					continue
+				}
+				if wb, ok := c.buf.pendingWriteBack(line); ok {
+					supplied = true
+					if op == cache.SnoopReadOwn {
+						// Ownership moves to the requester; the queued
+						// write-back is superseded.
+						c.buf.remove(wb)
+						// The freed slot may unblock a buffer-full retry
+						// or complete a drain at the next cycle.
+						if m.sched != nil {
+							m.sched.wake(j, m.now+1)
+						}
+					}
+				}
+			}
+		}
+		return supplied
+	}
 	for j, c := range m.cpus {
 		if j == requester {
 			continue
@@ -353,6 +667,12 @@ func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (sup
 			if invalidating && c.state == stTTSSpin &&
 				m.cfg.Cache.LineAddr(c.ttsLockAddr) == line {
 				c.ttsReread = true
+				// Snoops run at grant time, after this cycle's phase B,
+				// so the spinner re-tests at the next cycle — as the
+				// polling loop's full sweep would.
+				if m.sched != nil {
+					m.sched.wake(j, m.now+1)
+				}
 			}
 		}
 		if wb, ok := c.buf.pendingWriteBack(line); ok {
@@ -361,6 +681,11 @@ func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (sup
 				// Ownership moves to the requester; the queued
 				// write-back is superseded.
 				c.buf.remove(wb)
+				// The freed slot may unblock a buffer-full retry or
+				// complete a drain at the next cycle.
+				if m.sched != nil {
+					m.sched.wake(j, m.now+1)
+				}
 			}
 		}
 	}
@@ -371,6 +696,11 @@ func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (sup
 func (m *Machine) grant(i int) {
 	if i == m.memRequester() {
 		resp := m.mem.PopResponse()
+		if m.sched != nil {
+			// The freed output slot can unblock an access stalled inside
+			// the memory module; its retirement happens on the next tick.
+			m.sched.pushTime(m.now + 1)
+		}
 		end := m.bus.Occupy(i, bus.OpResponse, m.now, 0)
 		m.txn = busTxn{
 			active: true, kind: txnResp, start: m.now, at: end,
@@ -484,6 +814,12 @@ func (m *Machine) completeTxn() {
 	t := m.txn
 	m.txn.active = false
 	c := m.cpus[t.cpu]
+	if m.sched != nil {
+		// The owning processor's buffer or scheduling state changes in
+		// every branch below; step it this cycle. Peers perturbed by lock
+		// hand-offs are marked by grantLock and the notify path.
+		m.sched.mark(t.cpu)
+	}
 	switch t.kind {
 	case txnMemReq:
 		if _, ok := c.buf.byID(t.entryID); !ok {
@@ -581,9 +917,13 @@ func (m *Machine) completeTxn() {
 			// The exact protocol pays a separate notify write to the
 			// waiter's spin location before the hand-off completes.
 			if !c.buf.full() {
+				// The notify write's coherence action is per cache line:
+				// normalise through LineAddr, like the waiter's respin
+				// read below, so the snoop kills the cached spin copy
+				// even when lines are wider than the spin stride.
 				c.buf.push(entry{
 					id: m.nextEntryID(), kind: entLockNotify,
-					line: spinAddr(next), lockID: id, peer: next,
+					line: m.cfg.Cache.LineAddr(spinAddr(next)), lockID: id, peer: next,
 					blocking: true,
 				})
 				c.state = stStall // releaser waits for its notify write
@@ -678,6 +1018,9 @@ func (m *Machine) completeEntry(c *cpu, e *entry) {
 // grantLock hands a queuing lock to a waiting processor and resumes it.
 func (m *Machine) grantLock(cpuID int, lockID uint32) {
 	m.locks.Grant(cpuID, lockID, m.now)
+	if m.sched != nil {
+		m.sched.mark(cpuID) // the grantee resumes fetching this cycle
+	}
 	w := m.cpus[cpuID]
 	if w.state != stWaitGrant && w.state != stStall {
 		panic(fmt.Sprintf("machine: granting lock %d to cpu %d in state %v", lockID, cpuID, w.state))
@@ -722,6 +1065,7 @@ func (m *Machine) result() *Result {
 		LockDetails:       m.locks.PerLock(),
 		LocksHeld:         m.locks.HeldLocks(),
 		DroppedWriteBacks: m.droppedWB,
+		Sched:             SchedStats{Iterations: m.iters, Steps: m.steps},
 	}
 	for _, b := range m.barriers {
 		res.BarrierEpisodes += b.episodes

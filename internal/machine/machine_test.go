@@ -396,3 +396,49 @@ func TestMaxCyclesGuard(t *testing.T) {
 		t.Fatal("MaxCycles exceeded without error")
 	}
 }
+
+// TestMaxCyclesExactTripCycle pins the guard's boundary semantics under
+// both schedulers: the bound is inclusive — cycles 0..MaxCycles-1 may
+// execute — and a machine still incomplete at cycle MaxCycles aborts at
+// EXACTLY that cycle, even when the event calendar would have jumped past
+// it. Regression test for the off-by-one where runs needing exactly
+// MaxCycles cycles were mis-flagged a cycle late (or allowed through).
+func TestMaxCyclesExactTripCycle(t *testing.T) {
+	for _, sched := range []SchedKind{SchedCalendar, SchedPolling} {
+		t.Run(sched.String(), func(t *testing.T) {
+			mk := func(maxCycles uint64) *Machine {
+				cfg := defCfg()
+				cfg.Sched = sched
+				cfg.MaxCycles = maxCycles
+				set := trace.BufferSet("exact", [][]trace.Event{{trace.Exec(10)}})
+				m, err := New(set, cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				return m
+			}
+			// Exec(10) retires at cycle 10, so the run needs cycles 0..10.
+			res, err := mk(11).Run()
+			if err != nil {
+				t.Fatalf("MaxCycles=11 must allow a 10-cycle run: %v", err)
+			}
+			if res.RunTime != 10 {
+				t.Fatalf("RunTime = %d, want 10", res.RunTime)
+			}
+			// With MaxCycles=10 the completing cycle itself is out of
+			// bounds: the abort must name cycle 10, not 9 or 11.
+			if _, err := mk(10).Run(); err == nil {
+				t.Fatal("MaxCycles=10 must abort a run needing cycle 10")
+			} else if !strings.Contains(err.Error(), "MaxCycles=10 at cycle 10") {
+				t.Fatalf("abort cycle not pinned to the bound: %v", err)
+			}
+			// A bound inside an event gap still trips at the bound: the
+			// clock is clamped, never stepped past it.
+			if _, err := mk(5).Run(); err == nil {
+				t.Fatal("MaxCycles=5 must abort")
+			} else if !strings.Contains(err.Error(), "MaxCycles=5 at cycle 5") {
+				t.Fatalf("clamped abort cycle wrong: %v", err)
+			}
+		})
+	}
+}

@@ -55,6 +55,22 @@ type Result struct {
 	DroppedWriteBacks uint64
 	// BarrierEpisodes counts completed global barrier episodes.
 	BarrierEpisodes uint64
+
+	// Sched reports how much work the run loop itself did. It is
+	// simulator metadata, not a simulation outcome: the calendar and
+	// polling schedulers produce identical results above but different
+	// Sched numbers (that gap is the calendar's speedup).
+	Sched SchedStats
+}
+
+// SchedStats counts the run loop's own work.
+type SchedStats struct {
+	// Iterations is the number of simulated cycles the loop visited.
+	Iterations uint64
+	// Steps is the number of per-processor step calls the loop made. The
+	// polling loop always makes Iterations×P of them; the calendar
+	// scheduler only steps dirty or due processors.
+	Steps uint64
 }
 
 // AvgUtilization returns the mean per-processor utilisation (the paper's

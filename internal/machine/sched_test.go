@@ -1,0 +1,190 @@
+package machine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"syncsim/internal/locks"
+	"syncsim/internal/trace"
+)
+
+func TestTimeHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h timeHeap
+	var want []uint64
+	for i := 0; i < 500; i++ {
+		v := uint64(rng.Intn(64)) // duplicates are likely and must be kept
+		h.push(v)
+		want = append(want, v)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		if len(h) == 0 {
+			t.Fatalf("heap empty after %d pops, want %d entries", i, len(want))
+		}
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d (nondecreasing order with duplicates)", i, got, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Errorf("heap has %d leftover entries", len(h))
+	}
+}
+
+func TestCPUHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h cpuHeap
+	var want []uint64
+	for i := 0; i < 300; i++ {
+		at := uint64(rng.Intn(40))
+		h.push(cpuWakeup{at: at, id: i % 8})
+		want = append(want, at)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		if got := h.pop(); got.at != w {
+			t.Fatalf("pop %d at = %d, want %d", i, got.at, w)
+		}
+	}
+}
+
+func TestSchedulerWakeDedup(t *testing.T) {
+	s := newScheduler(4)
+	s.wake(2, 10)
+	s.wake(2, 10) // identical wakeup must collapse
+	s.wake(2, 10)
+	if len(s.wakes) != 1 {
+		t.Fatalf("duplicate wake(2,10) produced %d heap entries, want 1", len(s.wakes))
+	}
+	s.wake(2, 12) // a different cycle is a new wakeup
+	s.wake(3, 10) // another CPU at the same cycle is too
+	if len(s.wakes) != 3 {
+		t.Fatalf("heap has %d entries, want 3", len(s.wakes))
+	}
+}
+
+func TestSchedulerDrainDue(t *testing.T) {
+	s := newScheduler(8)
+	s.wake(1, 5)
+	s.wake(2, 7)
+	s.wake(3, 9)
+	s.drainDue(7)
+	if !s.dirty[1] || !s.dirty[2] {
+		t.Error("wakeups due at or before now must be drained into the dirty set")
+	}
+	if s.dirty[3] {
+		t.Error("future wakeup drained early")
+	}
+	if s.ndirty != 2 {
+		t.Errorf("ndirty = %d, want 2", s.ndirty)
+	}
+	// The drained slots must be reusable: a fresh wakeup at the same cycle
+	// is NOT a duplicate once the old one has fired.
+	s.wake(1, 5)
+	if len(s.wakes) != 2 {
+		t.Errorf("re-arming a drained wakeup gave %d heap entries, want 2", len(s.wakes))
+	}
+}
+
+func TestSchedulerMarkUnmark(t *testing.T) {
+	s := newScheduler(4)
+	s.mark(0)
+	s.mark(0) // idempotent
+	s.mark(3)
+	if s.ndirty != 2 {
+		t.Fatalf("ndirty = %d, want 2", s.ndirty)
+	}
+	s.unmark(0)
+	s.unmark(0) // idempotent
+	if s.ndirty != 1 || s.dirty[0] || !s.dirty[3] {
+		t.Fatalf("after unmark: ndirty=%d dirty=%v", s.ndirty, s.dirty)
+	}
+}
+
+func TestSchedulerNextAfter(t *testing.T) {
+	s := newScheduler(2)
+	if _, ok := s.nextAfter(0); ok {
+		t.Fatal("empty calendar must report no next cycle (deadlock signal)")
+	}
+	s.pushTime(5)
+	s.pushTime(3)
+	s.pushTime(3) // stale after we advance past it
+	if at, ok := s.nextAfter(0); !ok || at != 3 {
+		t.Fatalf("nextAfter(0) = %d,%v, want 3,true", at, ok)
+	}
+	if at, ok := s.nextAfter(3); !ok || at != 5 {
+		t.Fatalf("nextAfter(3) = %d,%v, want 5,true (stale 3s discarded)", at, ok)
+	}
+	// A timed wakeup competes with candidate cycles...
+	s.wake(0, 4)
+	if at, ok := s.nextAfter(3); !ok || at != 4 {
+		t.Fatalf("nextAfter(3) with wake at 4 = %d,%v, want 4,true", at, ok)
+	}
+	// ...and one stamped in the past is clamped to now+1, never now or
+	// earlier (a zero-length burst still costs a cycle).
+	s2 := newScheduler(2)
+	s2.wake(1, 2)
+	if at, ok := s2.nextAfter(10); !ok || at != 11 {
+		t.Fatalf("past wakeup: nextAfter(10) = %d,%v, want 11,true", at, ok)
+	}
+}
+
+// TestSchedulerEquivalenceManyCPUs pins the calendar's fallback paths for
+// machines with more than 64 processors — no holder index, no
+// nearMask/dirtyMask bit tricks (CPU ids ≥ 64 use the plain dirty slice
+// and wakeup heap) — to the polling loop, checker on, on a workload with
+// real contention: one hot lock, a shared hot line, and per-CPU private
+// traffic.
+func TestSchedulerEquivalenceManyCPUs(t *testing.T) {
+	const ncpu = 72
+	cpus := make([][]trace.Event, ncpu)
+	for i := range cpus {
+		private := 0x4000 + uint32(i)*0x100
+		cpus[i] = []trace.Event{
+			trace.Exec(uint32(1 + i%7)),
+			trace.Read(0x1000), // shared hot line
+			trace.Write(private),
+			trace.Lock(0, 0x9000),
+			trace.Exec(3),
+			trace.Write(0x1000), // invalidation storm inside the CS
+			trace.Unlock(0, 0x9000),
+			trace.Read(private),
+			trace.Barrier(0),
+			trace.Exec(2),
+		}
+	}
+
+	runWith := func(sched SchedKind, model locks.Algorithm) *Result {
+		cfg := defCfg()
+		cfg.Sched = sched
+		cfg.Check = true
+		cfg.Lock = model
+		set := trace.BufferSet("manycpu", cpus)
+		m, err := New(set, cfg)
+		if err != nil {
+			t.Fatalf("New(%v): %v", sched, err)
+		}
+		if sched == SchedCalendar && m.holders != nil {
+			t.Fatalf("holder index built for %d CPUs, want nil above 64", ncpu)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("Run(%v, %v): %v", sched, model, err)
+		}
+		// The only fields allowed to differ: the scheduler selection echoed
+		// in the result's config, and the loops' own work counters.
+		res.Config.Sched = SchedCalendar
+		res.Sched = SchedStats{}
+		return res
+	}
+	for _, model := range []locks.Algorithm{locks.Queue, locks.TTS} {
+		calendar := runWith(SchedCalendar, model)
+		polling := runWith(SchedPolling, model)
+		if !reflect.DeepEqual(calendar, polling) {
+			t.Errorf("calendar and polling diverge on 72-CPU run under %v:\ncalendar: %+v\npolling:  %+v",
+				model, calendar, polling)
+		}
+	}
+}

@@ -67,14 +67,21 @@ type Stats struct {
 // every simulated step, and drains responses by arbitrating the memory
 // controller onto the bus.
 type Memory struct {
-	cfg   Config
-	in    []Request
-	out   []Response
-	busy  bool
-	done  uint64 // cycle at which the in-flight access completes
-	cur   Request
-	stats Stats
+	cfg    Config
+	in     []Request
+	out    []Response
+	busy   bool
+	done   uint64 // cycle at which the in-flight access completes
+	cur    Request
+	stats  Stats
+	notify func(at uint64)
 }
+
+// Notify registers a callback invoked whenever Tick starts an access, with
+// the cycle at which that access completes. An event-driven simulation
+// loop uses it to schedule the completion wakeup instead of polling
+// NextEventAt every cycle; nil disables notification.
+func (m *Memory) Notify(fn func(at uint64)) { m.notify = fn }
 
 // New creates a memory module. It panics on invalid configuration.
 func New(cfg Config) *Memory {
@@ -146,6 +153,9 @@ func (m *Memory) Tick(now uint64) {
 		m.busy = true
 		m.done = now + m.cfg.AccessTime
 		m.stats.BusyCycles += m.cfg.AccessTime
+		if m.notify != nil {
+			m.notify(m.done)
+		}
 		if m.cur.Kind == ReqRead {
 			m.stats.Reads++
 		} else {

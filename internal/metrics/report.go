@@ -26,6 +26,11 @@ type RunReport struct {
 	CacheHits int
 	// SimCycles is the total number of simulated machine cycles.
 	SimCycles uint64
+	// SchedIters and SchedSteps count the simulator run loop's own work:
+	// cycles the scheduler visited and per-processor step calls it made.
+	// They measure the simulator, not the simulated machine — the wakeup
+	// calendar visits far fewer cycles than SimCycles on sparse traces.
+	SchedIters, SchedSteps uint64
 }
 
 // Add merges another report into r.
@@ -37,6 +42,8 @@ func (r *RunReport) Add(o RunReport) {
 	r.Runs += o.Runs
 	r.CacheHits += o.CacheHits
 	r.SimCycles += o.SimCycles
+	r.SchedIters += o.SchedIters
+	r.SchedSteps += o.SchedSteps
 }
 
 // Throughput returns simulated cycles per second of simulator wall time,
@@ -46,6 +53,17 @@ func (r RunReport) Throughput() float64 {
 		return 0
 	}
 	return float64(r.SimCycles) / r.Simulate.Seconds()
+}
+
+// SchedEfficiency returns simulated cycles per scheduler iteration — how
+// many machine cycles each visited loop iteration advanced on average. The
+// polling loop pins this near 1; the wakeup calendar's value grows with
+// trace sparsity.
+func (r RunReport) SchedEfficiency() float64 {
+	if r.SchedIters == 0 {
+		return 0
+	}
+	return float64(r.SimCycles) / float64(r.SchedIters)
 }
 
 // String renders the report as one compact line.
@@ -77,6 +95,9 @@ type SuiteReport struct {
 	Busy time.Duration
 	// SimCycles is the total number of simulated machine cycles.
 	SimCycles uint64
+	// SchedIters and SchedSteps sum the simulator run loops' own work
+	// across all tasks (see RunReport).
+	SchedIters, SchedSteps uint64
 }
 
 // CacheHitRate returns the fraction of trace-cache lookups that hit,
@@ -118,6 +139,11 @@ func (r SuiteReport) String() string {
 		r.CacheMisses, r.CacheHits, 100*r.CacheHitRate())
 	fmt.Fprintf(&b, "simulated: %s cycles (%s cycles/s of wall time)",
 		siCount(float64(r.SimCycles)), siCount(r.Throughput()))
+	if r.SchedIters > 0 {
+		fmt.Fprintf(&b, "\nscheduler: %s iterations, %s steps (%.1f cycles/iteration)",
+			siCount(float64(r.SchedIters)), siCount(float64(r.SchedSteps)),
+			float64(r.SimCycles)/float64(r.SchedIters))
+	}
 	return b.String()
 }
 

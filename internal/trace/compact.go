@@ -63,6 +63,30 @@ type CompactSource struct {
 	prevAddr uint32
 }
 
+// uvarint decodes the unsigned varint at the cursor. Generated traces are
+// dominated by single-byte values (small exec bursts, short address
+// deltas), so the one-byte case is decoded inline and only the rare
+// multi-byte tail pays for binary.Uvarint's loop.
+func (s *CompactSource) uvarint() uint64 {
+	if b := s.c.buf[s.pos]; b < 0x80 {
+		s.pos++
+		return uint64(b)
+	}
+	v, n := binary.Uvarint(s.c.buf[s.pos:])
+	s.pos += n
+	return v
+}
+
+// varint decodes the zigzag-encoded signed varint at the cursor.
+func (s *CompactSource) varint() int64 {
+	ux := s.uvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x
+}
+
 // Next implements Source.
 func (s *CompactSource) Next() (Event, bool) {
 	if s.read >= s.c.n {
@@ -73,24 +97,10 @@ func (s *CompactSource) Next() (Event, bool) {
 	ev := Event{Kind: kind}
 	switch kind {
 	case KindExec, KindBarrier:
-		v, n := binary.Uvarint(s.c.buf[s.pos:])
-		s.pos += n
-		ev.Arg = uint32(v)
-	case KindIFetch, KindRead, KindWrite:
-		v, n := binary.Uvarint(s.c.buf[s.pos:])
-		s.pos += n
-		ev.Arg = uint32(v)
-		d, n2 := binary.Varint(s.c.buf[s.pos:])
-		s.pos += n2
-		s.prevAddr += uint32(int32(d))
-		ev.Addr = s.prevAddr
-	case KindLock, KindUnlock:
-		v, n := binary.Uvarint(s.c.buf[s.pos:])
-		s.pos += n
-		ev.Arg = uint32(v)
-		d, n2 := binary.Varint(s.c.buf[s.pos:])
-		s.pos += n2
-		s.prevAddr += uint32(int32(d))
+		ev.Arg = uint32(s.uvarint())
+	case KindIFetch, KindRead, KindWrite, KindLock, KindUnlock:
+		ev.Arg = uint32(s.uvarint())
+		s.prevAddr += uint32(int32(s.varint()))
 		ev.Addr = s.prevAddr
 	case KindEnd:
 	}
