@@ -14,8 +14,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,14 +27,29 @@ import (
 	"syncsim/internal/core"
 )
 
+// errDrift marks a verify-mode mismatch; main maps it to exit code 1 after
+// every deferred cleanup has run (os.Exit inside run would skip them).
+var errDrift = errors.New("drift detected; review and rerun with -update to approve")
+
 func main() {
-	dir := flag.String("dir", "internal/check/testdata/goldens", "corpus directory")
-	update := flag.Bool("update", false, "regenerate the corpus instead of verifying it")
-	scale := flag.Float64("scale", check.GoldenScale, "workload scale")
-	seed := flag.Int64("seed", check.GoldenSeed, "generation seed")
-	only := flag.String("only", "", "comma-separated benchmark subset")
-	workers := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "goldens: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("goldens", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "internal/check/testdata/goldens", "corpus directory")
+	update := fs.Bool("update", false, "regenerate the corpus instead of verifying it")
+	scale := fs.Float64("scale", check.GoldenScale, "workload scale")
+	seed := fs.Int64("seed", check.GoldenSeed, "generation seed")
+	only := fs.String("only", "", "comma-separated benchmark subset")
+	workers := fs.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -43,22 +60,22 @@ func main() {
 	}
 	outs, err := core.RunSuiteCtx(ctx, opts)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 
 	if *update {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
-			fatal("%v", err)
+			return err
 		}
 		for _, o := range outs {
 			g := check.Compute(o)
 			path := filepath.Join(*dir, check.GoldenFile(o.Name))
 			if err := check.Save(path, g); err != nil {
-				fatal("%v", err)
+				return err
 			}
-			fmt.Printf("wrote %s\n", path)
+			fmt.Fprintf(stdout, "wrote %s\n", path)
 		}
-		return
+		return nil
 	}
 
 	drifted := false
@@ -67,28 +84,23 @@ func main() {
 		path := filepath.Join(*dir, check.GoldenFile(o.Name))
 		want, err := check.Load(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "goldens: %s: %v (run with -update to create)\n", o.Name, err)
+			fmt.Fprintf(stderr, "goldens: %s: %v (run with -update to create)\n", o.Name, err)
 			drifted = true
 			continue
 		}
 		diffs := check.Compare(got, want)
 		if len(diffs) == 0 {
-			fmt.Printf("ok   %s\n", o.Name)
+			fmt.Fprintf(stdout, "ok   %s\n", o.Name)
 			continue
 		}
 		drifted = true
-		fmt.Fprintf(os.Stderr, "DRIFT %s:\n", o.Name)
+		fmt.Fprintf(stderr, "DRIFT %s:\n", o.Name)
 		for _, d := range diffs {
-			fmt.Fprintf(os.Stderr, "  %s\n", d)
+			fmt.Fprintf(stderr, "  %s\n", d)
 		}
 	}
 	if drifted {
-		fmt.Fprintln(os.Stderr, "goldens: drift detected; review and rerun with -update to approve")
-		os.Exit(1)
+		return errDrift
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "goldens: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

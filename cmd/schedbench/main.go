@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -51,13 +52,26 @@ type Report struct {
 	Rows  []Row   `json:"rows"`
 }
 
+// main is a thin exit-code shim around run so deferred cleanups always
+// fire; os.Exit inside the work path would skip them.
 func main() {
-	scale := flag.Float64("scale", 0.05, "workload scale")
-	seed := flag.Int64("seed", 1, "generation seed")
-	reps := flag.Int("reps", 5, "repetitions per cell; the best time is kept")
-	schedFlag := flag.String("sched", "calendar", "scheduler(s) to time: calendar, polling, or both")
-	jsonPath := flag.String("json", "", "also write the report as JSON to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "schedbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schedbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.05, "workload scale")
+	seed := fs.Int64("seed", 1, "generation seed")
+	reps := fs.Int("reps", 5, "repetitions per cell; the best time is kept")
+	schedFlag := fs.String("sched", "calendar", "scheduler(s) to time: calendar, polling, or both")
+	jsonPath := fs.String("json", "", "also write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var scheds []machine.SchedKind
 	switch *schedFlag {
@@ -68,20 +82,20 @@ func main() {
 	case "both":
 		scheds = []machine.SchedKind{machine.SchedCalendar, machine.SchedPolling}
 	default:
-		fatal("unknown -sched %q (want calendar, polling, both)", *schedFlag)
+		return fmt.Errorf("unknown -sched %q (want calendar, polling, both)", *schedFlag)
 	}
 	models := []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO}
 
 	rep := Report{Scale: *scale, Seed: *seed, Reps: *reps}
-	fmt.Printf("%-10s %-6s %-9s %12s %14s %10s\n", "bench", "model", "sched", "best", "cycles", "Mcyc/s")
+	fmt.Fprintf(stdout, "%-10s %-6s %-9s %12s %14s %10s\n", "bench", "model", "sched", "best", "cycles", "Mcyc/s")
 	for _, name := range suite.Names() {
 		b, err := suite.ByName(name)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		set, err := b.Program.Generate(workload.Params{Scale: *scale, Seed: *seed})
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		rep.NCPU = set.NCPU()
 		for _, model := range models {
@@ -91,13 +105,13 @@ func main() {
 				row := Row{Bench: name, Model: model.String(), Scheduler: sched.String()}
 				for r := 0; r < *reps; r++ {
 					if err := trace.Reset(set); err != nil {
-						fatal("%v", err)
+						return err
 					}
 					start := time.Now()
 					res, err := machine.Run(set, cfg)
 					elapsed := time.Since(start)
 					if err != nil {
-						fatal("%s/%s/%s: %v", name, model, sched, err)
+						return fmt.Errorf("%s/%s/%s: %v", name, model, sched, err)
 					}
 					if row.BestNs == 0 || elapsed.Nanoseconds() < row.BestNs {
 						row.BestNs = elapsed.Nanoseconds()
@@ -107,14 +121,14 @@ func main() {
 					if row.SimCycles == 0 {
 						row.SimCycles = res.RunTime
 					} else if row.SimCycles != res.RunTime {
-						fatal("%s/%s/%s: run time changed between repetitions: %d vs %d",
+						return fmt.Errorf("%s/%s/%s: run time changed between repetitions: %d vs %d",
 							name, model, sched, row.SimCycles, res.RunTime)
 					}
 				}
 				row.MCyclesPS = float64(row.SimCycles) / 1e6 /
 					(float64(row.BestNs) / float64(time.Second))
 				rep.Rows = append(rep.Rows, row)
-				fmt.Printf("%-10s %-6s %-9s %12s %14d %10.1f\n",
+				fmt.Fprintf(stdout, "%-10s %-6s %-9s %12s %14d %10.1f\n",
 					row.Bench, row.Model, row.Scheduler,
 					time.Duration(row.BestNs).Round(time.Microsecond),
 					row.SimCycles, row.MCyclesPS)
@@ -124,20 +138,17 @@ func main() {
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fatal("%v", err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal("%v", err)
+			return err
 		}
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "schedbench: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -54,29 +55,43 @@ const archDiagram = `Modelled architecture (paper Figure 1, Sequent Symmetry Mod
 Uncontended miss: 1 (request) + 3 (memory) + 2 (line transfer) = 6 cycles.
 Cache-to-cache supply: 3 cycles. Upgrade invalidation: 1 cycle.`
 
+// main is a thin exit-code shim: all work happens in run, whose deferred
+// cleanups (profile flushes, file closes) must fire on EVERY path. Calling
+// os.Exit anywhere inside run would skip them and truncate profiles.
 func main() {
-	bench := flag.String("bench", "", "benchmark name (Grav, Pdsa, FullConn, Pverify, Qsort, Topopt)")
-	traceFile := flag.String("trace", "", "binary trace file to simulate instead of a benchmark")
-	scale := flag.Float64("scale", 0.2, "workload scale")
-	seed := flag.Int64("seed", 1, "generation seed")
-	ncpu := flag.Int("ncpu", 0, "processor count (0 = benchmark default)")
-	lock := flag.String("lock", "queue", "lock algorithm: queue, tts, queue-exact, tts-backoff")
-	cons := flag.String("cons", "sc", "consistency model: sc or wo")
-	bufDepth := flag.Int("buf", 4, "cache-bus buffer depth")
-	checkRun := flag.Bool("check", false, "enable the runtime invariant checker (coherence, bus conservation, lock fairness); roughly 1.5x slower")
-	arch := flag.Bool("arch", false, "print the modelled architecture and exit")
-	perCPU := flag.Bool("percpu", false, "print per-processor details")
-	showMetrics := flag.Bool("metrics", false, "print the per-phase run report (generate/analyze/simulate wall time, throughput)")
-	hotLocks := flag.Int("locks", 0, "print the N hottest locks by acquisitions")
-	hist := flag.Bool("hist", false, "print the waiters-at-transfer histogram")
-	sched := flag.String("sched", "calendar", "simulation scheduler: calendar (event-driven) or polling (step every CPU every cycle)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile (post-run) to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "syncsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("syncsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "benchmark name (Grav, Pdsa, FullConn, Pverify, Qsort, Topopt)")
+	traceFile := fs.String("trace", "", "binary trace file to simulate instead of a benchmark")
+	scale := fs.Float64("scale", 0.2, "workload scale")
+	seed := fs.Int64("seed", 1, "generation seed")
+	ncpu := fs.Int("ncpu", 0, "processor count (0 = benchmark default)")
+	lock := fs.String("lock", "queue", "lock algorithm: queue, tts, queue-exact, tts-backoff")
+	cons := fs.String("cons", "sc", "consistency model: sc or wo")
+	bufDepth := fs.Int("buf", 4, "cache-bus buffer depth")
+	checkRun := fs.Bool("check", false, "enable the runtime invariant checker (coherence, bus conservation, lock fairness); roughly 1.5x slower")
+	arch := fs.Bool("arch", false, "print the modelled architecture and exit")
+	perCPU := fs.Bool("percpu", false, "print per-processor details")
+	showMetrics := fs.Bool("metrics", false, "print the per-phase run report (generate/analyze/simulate wall time, throughput)")
+	hotLocks := fs.Int("locks", 0, "print the N hottest locks by acquisitions")
+	hist := fs.Bool("hist", false, "print the waiters-at-transfer histogram")
+	sched := fs.String("sched", "calendar", "simulation scheduler: calendar (event-driven) or polling (step every CPU every cycle)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (post-run) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *arch {
-		fmt.Println(archDiagram)
-		return
+		fmt.Fprintln(stdout, archDiagram)
+		return nil
 	}
 
 	cfg := machine.DefaultConfig()
@@ -92,7 +107,7 @@ func main() {
 	case "tts-backoff":
 		cfg.Lock = locks.TTSBackoff
 	default:
-		fatal("unknown lock algorithm %q (want queue, tts, queue-exact, tts-backoff)", *lock)
+		return fmt.Errorf("unknown lock algorithm %q (want queue, tts, queue-exact, tts-backoff)", *lock)
 	}
 	switch *cons {
 	case "sc":
@@ -100,7 +115,7 @@ func main() {
 	case "wo":
 		cfg.Consistency = machine.WeakOrdering
 	default:
-		fatal("unknown consistency model %q (want sc or wo)", *cons)
+		return fmt.Errorf("unknown consistency model %q (want sc or wo)", *cons)
 	}
 	switch *sched {
 	case "calendar":
@@ -108,19 +123,41 @@ func main() {
 	case "polling":
 		cfg.Sched = machine.SchedPolling
 	default:
-		fatal("unknown scheduler %q (want calendar or polling)", *sched)
+		return fmt.Errorf("unknown scheduler %q (want calendar or polling)", *sched)
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal("cpuprofile: %v", err)
+			return fmt.Errorf("cpuprofile: %v", err)
 		}
+		// Deferred so the profile is complete and parseable even when the
+		// run below fails: os.Exit on the error path used to truncate it.
 		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Also deferred: a failing run still yields a snapshot of what the
+		// heap looked like at the point of failure.
+		defer func() {
+			f, ferr := os.Create(*memProfile)
+			if ferr != nil {
+				if err == nil {
+					err = ferr
+				}
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile reflects retention
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = fmt.Errorf("memprofile: %v", werr)
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -133,24 +170,24 @@ func main() {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		set, err = trace.DecodeSet(f)
 		f.Close()
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 	case *bench != "":
 		b, err := suite.ByName(*bench)
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 		set, err = b.Program.Generate(workload.Params{NCPU: *ncpu, Scale: *scale, Seed: *seed})
 		if err != nil {
-			fatal("%v", err)
+			return err
 		}
 	default:
-		fatal("need -bench, -trace, or -arch (benchmarks: %v)", suite.Names())
+		return fmt.Errorf("need -bench, -trace, or -arch (benchmarks: %v)", suite.Names())
 	}
 	rep.Generate = time.Since(genStart)
 
@@ -158,12 +195,12 @@ func main() {
 	ideal := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
 	rep.Analyze = time.Since(anStart)
 	if err := trace.Reset(set); err != nil {
-		fatal("%v", err)
+		return err
 	}
 	simStart := time.Now()
 	res, err := machine.RunCtx(ctx, set, cfg)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	rep.Simulate = time.Since(simStart)
 	rep.Wall = time.Since(genStart)
@@ -172,39 +209,39 @@ func main() {
 	rep.SchedIters = res.Sched.Iterations
 	rep.SchedSteps = res.Sched.Steps
 
-	fmt.Printf("%s  (%d CPUs, lock=%s, consistency=%s)\n", res.Name, len(res.CPUs), cfg.Lock, cfg.Consistency)
-	fmt.Printf("  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
+	fmt.Fprintf(stdout, "%s  (%d CPUs, lock=%s, consistency=%s)\n", res.Name, len(res.CPUs), cfg.Lock, cfg.Consistency)
+	fmt.Fprintf(stdout, "  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
 		ideal.WorkCycles, ideal.Refs, ideal.DataRefs, ideal.SharedRefs, ideal.LockPairs)
-	fmt.Printf("  run-time: %d cycles\n", res.RunTime)
-	fmt.Printf("  util:     %.1f%%\n", 100*res.AvgUtilization())
+	fmt.Fprintf(stdout, "  run-time: %d cycles\n", res.RunTime)
+	fmt.Fprintf(stdout, "  util:     %.1f%%\n", 100*res.AvgUtilization())
 	cachePct, lockPct, otherPct := res.StallBreakdown()
-	fmt.Printf("  stalls:   cache %.1f%%  lock %.1f%%  other %.1f%%\n", cachePct, lockPct, otherPct)
-	fmt.Printf("  locks:    %d acquisitions, %d transfers, %.2f waiters at transfer\n",
+	fmt.Fprintf(stdout, "  stalls:   cache %.1f%%  lock %.1f%%  other %.1f%%\n", cachePct, lockPct, otherPct)
+	fmt.Fprintf(stdout, "  locks:    %d acquisitions, %d transfers, %.2f waiters at transfer\n",
 		res.Locks.Acquisitions, res.Locks.Transfers, res.Locks.AvgWaitersAtTransfer())
-	fmt.Printf("            held %.0f cycles avg (%.0f at transfers), transfer latency %.1f cycles\n",
+	fmt.Fprintf(stdout, "            held %.0f cycles avg (%.0f at transfers), transfer latency %.1f cycles\n",
 		res.Locks.AvgHold(), res.Locks.AvgTransferHold(), res.Locks.AvgTransferTime())
-	fmt.Printf("  caches:   read hit %.1f%%, write hit %.1f%%\n",
+	fmt.Fprintf(stdout, "  caches:   read hit %.1f%%, write hit %.1f%%\n",
 		100*res.ReadHitRatio(), 100*res.WriteHitRatio())
-	fmt.Printf("  bus:      %.1f%% utilised (%d transactions)\n",
+	fmt.Fprintf(stdout, "  bus:      %.1f%% utilised (%d transactions)\n",
 		100*res.BusUtilization(), res.Bus.Total())
-	fmt.Printf("  memory:   %d reads, %d writes\n", res.Memory.Reads, res.Memory.Writes)
+	fmt.Fprintf(stdout, "  memory:   %d reads, %d writes\n", res.Memory.Reads, res.Memory.Writes)
 	if *checkRun {
-		fmt.Println("  check:    all invariants held")
+		fmt.Fprintln(stdout, "  check:    all invariants held")
 	}
 	if res.DroppedWriteBacks > 0 {
-		fmt.Printf("  note:     %d write-backs dropped (buffer-full corner)\n", res.DroppedWriteBacks)
+		fmt.Fprintf(stdout, "  note:     %d write-backs dropped (buffer-full corner)\n", res.DroppedWriteBacks)
 	}
 	if *showMetrics {
-		fmt.Printf("  metrics:  %s\n", rep)
+		fmt.Fprintf(stdout, "  metrics:  %s\n", rep)
 		if events, ok := set.Events(); ok {
-			fmt.Printf("            %d trace events (%.0f events/s simulated)\n",
+			fmt.Fprintf(stdout, "            %d trace events (%.0f events/s simulated)\n",
 				events, float64(events)/rep.Simulate.Seconds())
 		}
-		fmt.Printf("            %s scheduler: %d iterations, %d steps (%.1f cycles/iteration)\n",
+		fmt.Fprintf(stdout, "            %s scheduler: %d iterations, %d steps (%.1f cycles/iteration)\n",
 			cfg.Sched, rep.SchedIters, rep.SchedSteps, rep.SchedEfficiency())
 	}
 	if *hotLocks > 0 {
-		fmt.Println("  hottest locks:")
+		fmt.Fprintln(stdout, "  hottest locks:")
 		type row struct {
 			id   uint32
 			info locks.LockInfo
@@ -223,12 +260,12 @@ func main() {
 			rows = rows[:*hotLocks]
 		}
 		for _, r := range rows {
-			fmt.Printf("    lock %-6d @%#x  %8d acquisitions  %8d transfers\n",
+			fmt.Fprintf(stdout, "    lock %-6d @%#x  %8d acquisitions  %8d transfers\n",
 				r.id, r.info.Addr, r.info.Acquisitions, r.info.Transfers)
 		}
 	}
 	if *hist {
-		fmt.Println("  waiters-at-transfer histogram:")
+		fmt.Fprintln(stdout, "  waiters-at-transfer histogram:")
 		for n, count := range res.Locks.WaiterHistogram {
 			if count == 0 {
 				continue
@@ -237,32 +274,17 @@ func main() {
 			if n == len(res.Locks.WaiterHistogram)-1 {
 				label = fmt.Sprintf("%d+", n)
 			}
-			fmt.Printf("    %3s waiters: %8d transfers\n", label, count)
+			fmt.Fprintf(stdout, "    %3s waiters: %8d transfers\n", label, count)
 		}
 	}
 	if *perCPU {
-		fmt.Println("  per-CPU:")
+		fmt.Fprintln(stdout, "  per-CPU:")
 		for i := range res.CPUs {
 			c := &res.CPUs[i]
-			fmt.Printf("    cpu%-2d work=%-10d finish=%-10d util=%5.1f%% stalls miss=%d lock=%d barrier=%d drain=%d\n",
+			fmt.Fprintf(stdout, "    cpu%-2d work=%-10d finish=%-10d util=%5.1f%% stalls miss=%d lock=%d barrier=%d drain=%d\n",
 				i, c.WorkCycles, c.FinishTime, 100*c.Utilization(),
 				c.StallMiss, c.StallLock, c.StallBarrier, c.StallDrain)
 		}
 	}
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fatal("%v", err)
-		}
-		runtime.GC() // settle allocations so the heap profile reflects retention
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal("memprofile: %v", err)
-		}
-		f.Close()
-	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "syncsim: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,112 @@
+// Command syncsimd is the resident simulation service: a long-running HTTP
+// server that accepts simulation and sweep jobs, runs them on the
+// concurrent experiment engine, and returns the paper's metrics as JSON.
+//
+// Usage:
+//
+//	syncsimd [-addr :8080] [-workers N] [-queue 64] [-timeout 2m]
+//	         [-result-cache 256] [-trace-cache 64] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/sim     one benchmark × machine configuration
+//	POST /v1/sweep   the benchmark × model matrix (Tables 1-8 inputs)
+//	GET  /healthz    liveness; 503 once draining
+//	GET  /metrics    service counters and gauges (add ?format=text)
+//	GET  /debug/pprof/...
+//
+// Identical in-flight requests coalesce onto one execution; completed
+// results are cached (bounded LRU); excess load is shed with 429 +
+// Retry-After. SIGTERM/SIGINT begins a graceful drain: the server stops
+// accepting jobs, finishes the ones in flight (up to -drain), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"syncsim/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "syncsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("syncsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth beyond running jobs; excess load is shed with 429")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-job timeout, queue wait included")
+	resultCache := fs.Int("result-cache", 256, "completed-result LRU entries (negative disables)")
+	traceCache := fs.Int("trace-cache", 64, "trace-cache LRU entries (negative = unbounded)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *timeout,
+		ResultCacheSize: *resultCache,
+		TraceCacheCap:   *traceCache,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(stderr, "syncsimd: listening on %s\n", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "syncsimd: %v received, draining (grace %v)\n", sig, *drain)
+	}
+	signal.Stop(sigc)
+
+	// Drain: stop admitting jobs, let in-flight ones finish, then close
+	// connections and abort anything that outlived the grace period.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "syncsimd: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		srv.Close()
+		<-errc
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, "syncsimd: drained, bye")
+	return nil
+}

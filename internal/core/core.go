@@ -127,6 +127,11 @@ type Options struct {
 	// Workers bounds how many simulations run concurrently; zero selects
 	// GOMAXPROCS.
 	Workers int
+	// Cache, when non-nil, is a shared trace cache: traces memoised by
+	// earlier runs (or other concurrent runs) are reused instead of being
+	// regenerated. Nil gives the run a private cache. Long-lived callers
+	// should pass a bounded cache (engine.NewTraceCacheCap).
+	Cache *engine.TraceCache
 }
 
 // Option mutates an Options value; see NewOptions.
@@ -186,6 +191,11 @@ func WithReport(fn func(metrics.SuiteReport)) Option {
 
 // WithWorkers bounds how many simulations run concurrently.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithCache shares a trace cache across runs (see Options.Cache).
+func WithCache(c *engine.TraceCache) Option {
+	return func(o *Options) { o.Cache = c }
+}
 
 // models returns the models to simulate; nil selects all three.
 func (o Options) models() []Model {
@@ -288,7 +298,7 @@ func runMatrix(ctx context.Context, benches []suite.Benchmark, opts Options) ([]
 		}
 	}
 
-	eng := engine.New(engine.Config{Workers: opts.Workers, Progress: opts.Progress})
+	eng := engine.New(engine.Config{Workers: opts.Workers, Progress: opts.Progress, Cache: opts.Cache})
 	results, report, err := eng.Run(ctx, tasks)
 	if err != nil {
 		return nil, err

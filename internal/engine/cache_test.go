@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -32,6 +33,89 @@ func newGatedProgram(calls *atomic.Int32) *gatedProgram {
 		entered:     make(chan struct{}, 4),
 		release:     make(chan struct{}),
 	}
+}
+
+// TestCacheCapLRU is the regression test for the unbounded-growth bug:
+// before the capacity option, entries were only evicted on aborted fills,
+// so a long-lived process churning through distinct keys grew without
+// bound. Under churn Len() must never exceed the cap, old keys must be
+// displaced LRU-first, and a re-lookup of a recently used key must hit.
+func TestCacheCapLRU(t *testing.T) {
+	var calls atomic.Int32
+	p := &fakeProgram{name: "Churn", ncpu: 2, pairs: 4, genCalls: &calls}
+	const cap = 3
+	c := NewTraceCacheCap(cap)
+	if c.Cap() != cap {
+		t.Fatalf("Cap() = %d, want %d", c.Cap(), cap)
+	}
+	ctx := context.Background()
+
+	for seed := int64(1); seed <= 10; seed++ {
+		if _, _, _, err := c.Get(ctx, p, workload.Params{Scale: 1, Seed: seed}, nil); err != nil {
+			t.Fatalf("Get(seed %d): %v", seed, err)
+		}
+		if n := c.Len(); n > cap {
+			t.Fatalf("after %d inserts Len() = %d, exceeds cap %d", seed, n, cap)
+		}
+	}
+	if got := calls.Load(); got != 10 {
+		t.Fatalf("Generate called %d times, want 10 (all distinct keys)", got)
+	}
+
+	// Seeds 8..10 are the residents. Touch 8 so it becomes most recent,
+	// then insert a new key: 9 is now the LRU and must be the one evicted.
+	if _, _, info, err := c.Get(ctx, p, workload.Params{Scale: 1, Seed: 8}, nil); err != nil || !info.Hit {
+		t.Fatalf("Get(seed 8) = hit=%v err=%v, want cache hit", info.Hit, err)
+	}
+	if _, _, _, err := c.Get(ctx, p, workload.Params{Scale: 1, Seed: 11}, nil); err != nil {
+		t.Fatalf("Get(seed 11): %v", err)
+	}
+	if _, _, info, err := c.Get(ctx, p, workload.Params{Scale: 1, Seed: 8}, nil); err != nil || !info.Hit {
+		t.Fatalf("recently used seed 8 was evicted (hit=%v err=%v)", info.Hit, err)
+	}
+	if _, _, info, err := c.Get(ctx, p, workload.Params{Scale: 1, Seed: 9}, nil); err != nil || info.Hit {
+		t.Fatalf("LRU seed 9 should have been evicted (hit=%v err=%v)", info.Hit, err)
+	}
+	if n := c.Len(); n > cap {
+		t.Fatalf("final Len() = %d, exceeds cap %d", n, cap)
+	}
+
+	st := c.Stats()
+	if st.Evictions == 0 || st.Misses == 0 || st.Hits == 0 {
+		t.Errorf("Stats() = %+v, want non-zero hits, misses and evictions", st)
+	}
+	if st.Len != c.Len() || st.Cap != cap {
+		t.Errorf("Stats() occupancy %+v inconsistent with Len %d / Cap %d", st, c.Len(), cap)
+	}
+}
+
+// TestCacheCapConcurrentChurn hammers a small cache from several goroutines
+// over an overlapping key range and asserts the bound is never exceeded.
+func TestCacheCapConcurrentChurn(t *testing.T) {
+	p := &fakeProgram{name: "ChurnRace", ncpu: 2, pairs: 4}
+	const cap = 2
+	c := NewTraceCacheCap(cap)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				seed := int64((g + i) % 7)
+				if _, _, _, err := c.Get(ctx, p, workload.Params{Scale: 1, Seed: seed}, nil); err != nil {
+					t.Errorf("Get(seed %d): %v", seed, err)
+					return
+				}
+				if n := c.Len(); n > cap {
+					t.Errorf("Len() = %d, exceeds cap %d", n, cap)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // TestCacheCrossCancellation is the regression test for the single-flight

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// timerJSON is the wire form of one timer: totals in nanoseconds plus the
+// derived average, so scrapers need no duration arithmetic.
+type timerJSON struct {
+	TotalNS int64 `json:"total_ns"`
+	Count   int64 `json:"count"`
+	AvgNS   int64 `json:"avg_ns"`
+}
+
+// exposition is the /metrics document: registry counters and timers plus
+// caller-supplied live gauges (queue depths, in-flight counts — values
+// that are read, not accumulated).
+type exposition struct {
+	Counters map[string]int64     `json:"counters"`
+	Timers   map[string]timerJSON `json:"timers"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+}
+
+// Handler exposes a registry over HTTP in the expvar spirit: GET returns a
+// JSON object of counters, timers and gauges; `?format=text` returns
+// sorted "name value" lines for eyeballing with curl. gauges, when
+// non-nil, is called per request to sample instantaneous values that a
+// cumulative registry cannot hold. The handler is safe for concurrent use
+// (snapshots are point-in-time copies).
+func Handler(r *Registry, gauges func() map[string]int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		doc := exposition{
+			Counters: snap.Counters,
+			Timers:   make(map[string]timerJSON, len(snap.Timers)),
+		}
+		for name, t := range snap.Timers {
+			tj := timerJSON{TotalNS: int64(t.Total), Count: t.Count}
+			if t.Count > 0 {
+				tj.AvgNS = int64(t.Total) / t.Count
+			}
+			doc.Timers[name] = tj
+		}
+		if gauges != nil {
+			doc.Gauges = gauges()
+		}
+
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeText(w, doc)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck // client gone; nothing to do
+	})
+}
+
+// writeText renders the exposition as sorted "name value" lines.
+func writeText(w http.ResponseWriter, doc exposition) {
+	var lines []string
+	for name, v := range doc.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, t := range doc.Timers {
+		lines = append(lines, fmt.Sprintf("%s %v/%d", name, time.Duration(t.TotalNS), t.Count))
+	}
+	for name, v := range doc.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	sort.Strings(lines)
+	fmt.Fprintln(w, strings.Join(lines, "\n"))
+}

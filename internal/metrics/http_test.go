@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerJSON(t *testing.T) {
+	r := New()
+	r.Counter("jobs_completed").Add(7)
+	r.Timer("phase_simulate").Observe(20 * time.Millisecond)
+	r.Timer("phase_simulate").Observe(10 * time.Millisecond)
+
+	h := Handler(r, func() map[string]int64 {
+		return map[string]int64{"queue_depth": 3}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+		Timers   map[string]struct {
+			TotalNS int64 `json:"total_ns"`
+			Count   int64 `json:"count"`
+			AvgNS   int64 `json:"avg_ns"`
+		} `json:"timers"`
+		Gauges map[string]int64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if doc.Counters["jobs_completed"] != 7 {
+		t.Errorf("jobs_completed = %d, want 7", doc.Counters["jobs_completed"])
+	}
+	sim := doc.Timers["phase_simulate"]
+	if sim.Count != 2 || sim.TotalNS != int64(30*time.Millisecond) || sim.AvgNS != int64(15*time.Millisecond) {
+		t.Errorf("phase_simulate = %+v, want total 30ms over 2 obs, avg 15ms", sim)
+	}
+	if doc.Gauges["queue_depth"] != 3 {
+		t.Errorf("queue_depth gauge = %d, want 3", doc.Gauges["queue_depth"])
+	}
+}
+
+func TestHandlerTextAndMethods(t *testing.T) {
+	r := New()
+	r.Counter("cache_hits").Inc()
+	srv := httptest.NewServer(Handler(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "cache_hits 1") {
+		t.Errorf("text exposition missing counter line:\n%s", body)
+	}
+
+	post, err := http.Post(srv.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}

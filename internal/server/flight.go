@@ -1,0 +1,165 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// flight is one in-progress job that any number of identical requests
+// share. The leader (the request that created the flight) executes the
+// job; followers park on done. The job runs under its own context, NOT the
+// leader's: it stays alive while anyone still wants the answer and is
+// cancelled only when the last interested client disconnects — so a
+// leader's dropped connection cannot abort a result that N-1 followers
+// are waiting for.
+type flight struct {
+	done chan struct{} // closed once val/err are final
+	val  any
+	err  error
+
+	mu      sync.Mutex
+	waiters int // clients still interested; 0 → cancel the job
+	cancel  context.CancelFunc
+}
+
+// leave records a departing waiter; the last one out cancels the job.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+func (f *flight) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// flightGroup is the single-flight map: one flight per key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do executes fn once per key among concurrent callers. The first caller
+// becomes the leader and runs fn inline under a fresh job context derived
+// from base (server lifetime) with the given timeout; later callers
+// coalesce onto the same flight. shared reports whether this caller
+// coalesced. callerCtx governs only this caller's wait: when it dies the
+// caller leaves (possibly cancelling the job if it was the last one) and
+// returns callerCtx's error.
+func (g *flightGroup) do(callerCtx, base context.Context, timeout time.Duration, key string, fn func(context.Context) (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		f.join()
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-callerCtx.Done():
+			f.leave()
+			return nil, true, callerCtx.Err()
+		}
+	}
+
+	var (
+		jobCtx context.Context
+		cancel context.CancelFunc
+	)
+	if timeout > 0 {
+		jobCtx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		jobCtx, cancel = context.WithCancel(base)
+	}
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// If the leader's client disconnects mid-run, count it out; the job
+	// keeps running as long as any follower is still waiting.
+	stop := context.AfterFunc(callerCtx, f.leave)
+
+	f.val, f.err = fn(jobCtx)
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	if stop() {
+		// The leader's watcher never fired; drop its interest explicitly
+		// so the job context is always cancelled (releases timers).
+		f.leave()
+	}
+	return f.val, false, f.err
+}
+
+// resultLRU memoises completed job payloads, bounded by entry count. The
+// values are immutable-by-convention payload pointers; a hit serves a
+// previously computed simulation in microseconds.
+type resultLRU struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	order *list.List // of lruEntry; front = most recent
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newResultLRU(capacity int) *resultLRU {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultLRU{cap: capacity, m: make(map[string]*list.Element), order: list.New()}
+}
+
+func (c *resultLRU) get(key string) (any, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(lruEntry).val, true
+}
+
+func (c *resultLRU) put(key string, val any) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value = lruEntry{key, val}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.order.PushFront(lruEntry{key, val})
+	for len(c.m) > c.cap {
+		back := c.order.Back()
+		delete(c.m, back.Value.(lruEntry).key)
+		c.order.Remove(back)
+	}
+}
+
+func (c *resultLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

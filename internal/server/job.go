@@ -1,0 +1,236 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"syncsim/internal/core"
+	"syncsim/internal/engine"
+	"syncsim/internal/locks"
+	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/suite"
+)
+
+// defaultScale keeps an omitted scale small: the service is meant for
+// interactive repeated queries, and scale 1.0 runs take minutes of CPU.
+// Clients reproducing paper magnitudes ask for them explicitly.
+const defaultScale = 0.2
+
+// SimRequest is the body of POST /v1/sim: one benchmark under one machine
+// configuration. Zero values select the same defaults as the syncsim CLI.
+type SimRequest struct {
+	// Bench is the benchmark name (Grav, Pdsa, FullConn, Pverify, Qsort,
+	// Topopt). Required.
+	Bench string `json:"bench"`
+	// Scale is the workload scale; 0 selects 0.2 (1.0 = paper magnitudes).
+	Scale float64 `json:"scale,omitempty"`
+	// NCPU is the processor count; 0 selects the benchmark default.
+	NCPU int `json:"ncpu,omitempty"`
+	// Seed drives generation randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// Lock is the lock algorithm: queue (default), tts, queue-exact,
+	// tts-backoff.
+	Lock string `json:"lock,omitempty"`
+	// Cons is the consistency model: sc (default) or wo.
+	Cons string `json:"cons,omitempty"`
+	// Check enables the runtime invariant checker (~1.5x slower).
+	Check bool `json:"check,omitempty"`
+}
+
+// simJob is a validated, canonicalised SimRequest ready to execute. Its
+// key is what coalescing and the result cache operate on: two requests
+// with the same key are guaranteed byte-identical traces (the engine.Key
+// contract) simulated under identical machine configs, hence identical
+// results.
+type simJob struct {
+	req    SimRequest // canonicalised copy, echoed in responses
+	prog   workload.Program
+	params workload.Params
+	cfg    machine.Config
+	key    string
+}
+
+// normalizeSim validates a request and resolves it to a runnable job.
+func normalizeSim(req SimRequest) (simJob, error) {
+	if req.Bench == "" {
+		return simJob{}, fmt.Errorf("missing bench (one of %v)", suite.Names())
+	}
+	b, err := suite.ByName(req.Bench)
+	if err != nil {
+		return simJob{}, err
+	}
+	if req.Scale == 0 {
+		req.Scale = defaultScale
+	}
+	if req.Scale < 0 {
+		return simJob{}, fmt.Errorf("negative scale %v", req.Scale)
+	}
+	if req.NCPU < 0 {
+		return simJob{}, fmt.Errorf("negative ncpu %d", req.NCPU)
+	}
+
+	cfg := machine.DefaultConfig()
+	switch req.Lock {
+	case "", "queue":
+		req.Lock = "queue"
+		cfg.Lock = locks.Queue
+	case "tts":
+		cfg.Lock = locks.TTS
+	case "queue-exact":
+		cfg.Lock = locks.QueueExact
+	case "tts-backoff":
+		cfg.Lock = locks.TTSBackoff
+	default:
+		return simJob{}, fmt.Errorf("unknown lock %q (want queue, tts, queue-exact, tts-backoff)", req.Lock)
+	}
+	switch req.Cons {
+	case "", "sc":
+		req.Cons = "sc"
+		cfg.Consistency = machine.SeqConsistent
+	case "wo":
+		cfg.Consistency = machine.WeakOrdering
+	default:
+		return simJob{}, fmt.Errorf("unknown cons %q (want sc or wo)", req.Cons)
+	}
+	cfg.Check = req.Check
+
+	params := workload.Params{NCPU: req.NCPU, Scale: req.Scale, Seed: req.Seed}
+	// Key like engine.KeyFor: the trace-determining parameters,
+	// canonicalised so equivalent spellings coalesce, extended with the
+	// result-determining machine knobs.
+	k := engine.KeyFor(b.Program, params)
+	req.Bench = k.Workload
+	req.NCPU = k.NCPU
+	req.Scale = k.Scale
+	job := simJob{
+		req:    req,
+		prog:   b.Program,
+		params: params,
+		cfg:    cfg,
+		key: fmt.Sprintf("sim|%s|%d|%g|%d|%s|%s|%t",
+			k.Workload, k.NCPU, k.Scale, k.Seed, req.Lock, req.Cons, req.Check),
+	}
+	return job, nil
+}
+
+// task converts the job into the engine's schedulable unit.
+func (j simJob) task() engine.Task {
+	return engine.Task{
+		Program: j.prog,
+		Params:  j.params,
+		Label:   j.req.Lock + "/" + j.req.Cons,
+		Config:  j.cfg,
+		Metrics: true,
+	}
+}
+
+// SimPayload is the shareable part of a /v1/sim response: one pointer is
+// handed to every coalesced waiter and kept in the result cache, so it is
+// immutable after construction.
+type SimPayload struct {
+	Request SimRequest        `json:"request"`
+	Ideal   trace.Summary     `json:"ideal"`
+	Result  *machine.Result   `json:"result"`
+	Report  metrics.RunReport `json:"report"`
+}
+
+// SimResponse is the full /v1/sim body: the payload plus how this
+// particular request was served.
+type SimResponse struct {
+	*SimPayload
+	// Served tells how the request was satisfied: "run" (this request
+	// executed the simulation), "coalesced" (it joined an identical
+	// in-flight run), or "cache" (the result cache had it).
+	Served string `json:"served"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: the full benchmark × model
+// matrix (or a subset) in one job, the service-side equivalent of
+// core.RunSuiteCtx.
+type SweepRequest struct {
+	// Scale is the workload scale; 0 selects 0.2.
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives generation randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// Models restricts the machine models (queue, tts, wo); empty = all.
+	Models []string `json:"models,omitempty"`
+	// Only restricts the benchmarks by name; empty = all six.
+	Only []string `json:"only,omitempty"`
+}
+
+// sweepJob is a validated SweepRequest.
+type sweepJob struct {
+	req    SweepRequest
+	models []core.Model
+	sel    suite.Selection
+	key    string
+}
+
+func normalizeSweep(req SweepRequest) (sweepJob, error) {
+	if req.Scale == 0 {
+		req.Scale = defaultScale
+	}
+	if req.Scale < 0 {
+		return sweepJob{}, fmt.Errorf("negative scale %v", req.Scale)
+	}
+	var models []core.Model
+	seen := map[string]bool{}
+	for _, m := range req.Models {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		switch m {
+		case "queue":
+			models = append(models, core.ModelQueue)
+		case "tts":
+			models = append(models, core.ModelTTS)
+		case "wo":
+			models = append(models, core.ModelWO)
+		default:
+			return sweepJob{}, fmt.Errorf("unknown model %q (want queue, tts, wo)", m)
+		}
+	}
+	if models == nil {
+		models = []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO}
+		req.Models = []string{"queue", "tts", "wo"}
+	}
+	sel, err := suite.NewSelection(req.Only...)
+	if err != nil {
+		return sweepJob{}, err
+	}
+	req.Only = sel.Names()
+	return sweepJob{
+		req:    req,
+		models: models,
+		sel:    sel,
+		key: fmt.Sprintf("sweep|%g|%d|%s|%s",
+			req.Scale, req.Seed, strings.Join(req.Models, ","), strings.Join(req.Only, ",")),
+	}, nil
+}
+
+// SweepOutcome is one benchmark's share of a sweep response; model results
+// are keyed by model name rather than core.Model's integer value.
+type SweepOutcome struct {
+	Name    string                     `json:"name"`
+	Params  workload.Params            `json:"params"`
+	Ideal   trace.Summary              `json:"ideal"`
+	Results map[string]*machine.Result `json:"results"`
+	Report  *metrics.RunReport         `json:"report,omitempty"`
+}
+
+// SweepPayload is the shareable part of a /v1/sweep response.
+type SweepPayload struct {
+	Request  SweepRequest        `json:"request"`
+	Outcomes []SweepOutcome      `json:"outcomes"`
+	Report   metrics.SuiteReport `json:"report"`
+}
+
+// SweepResponse is the full /v1/sweep body.
+type SweepResponse struct {
+	*SweepPayload
+	Served string `json:"served"`
+}

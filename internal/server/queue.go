@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// errBusy is load shedding: the admission queue is full. Handlers map it
+// to 429 with a Retry-After header — a bounded queue that rejects beats an
+// unbounded one that grows until the process dies.
+var errBusy = errors.New("server at capacity; retry later")
+
+// admission is the bounded two-stage admission queue: at most `workers`
+// jobs execute at once, at most `depth` more wait for a slot, and anything
+// beyond that is rejected immediately with errBusy. Coalesced requests
+// never enter the queue — only the flight leader holds a ticket — so a
+// thundering herd of identical requests costs one slot.
+type admission struct {
+	tickets chan struct{} // total in-system bound: workers + depth
+	slots   chan struct{} // running bound: workers
+}
+
+func newAdmission(workers, depth int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &admission{
+		tickets: make(chan struct{}, workers+depth),
+		slots:   make(chan struct{}, workers),
+	}
+}
+
+// acquire claims an execution slot. It fails fast with errBusy when the
+// queue is full, and respects ctx (per-job timeout, client disconnect,
+// shutdown) while waiting in line.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		return errBusy
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.tickets
+		return ctx.Err()
+	}
+}
+
+// release returns the slot and the queue ticket.
+func (a *admission) release() {
+	<-a.slots
+	<-a.tickets
+}
+
+// queued returns how many admitted jobs are waiting for a slot.
+func (a *admission) queued() int {
+	q := len(a.tickets) - len(a.slots)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// running returns how many jobs hold execution slots.
+func (a *admission) running() int { return len(a.slots) }

@@ -1,0 +1,457 @@
+// Package server is the resident simulation service behind cmd/syncsimd:
+// an HTTP front end that runs simulation and sweep jobs on the existing
+// internal/engine worker pool and returns machine.Result /
+// metrics.SuiteReport JSON.
+//
+// The production behaviours are the point of the package:
+//
+//   - identical in-flight requests are coalesced single-flight onto one
+//     execution, and completed payloads are kept in a bounded LRU result
+//     cache, so a thundering herd of equal queries costs one simulation;
+//   - admission is a bounded two-stage queue (running + waiting) that
+//     sheds excess load with 429 + Retry-After instead of growing without
+//     bound;
+//   - every job runs under a context with a server-side timeout, cancelled
+//     when the last interested client disconnects, and trace generation is
+//     memoised in a capacity-bounded engine.TraceCache;
+//   - shutdown is graceful: BeginDrain stops admissions while in-flight
+//     jobs run to completion;
+//   - /healthz, /metrics (expvar-style counters and gauges) and
+//     /debug/pprof expose the service's state.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"syncsim/internal/core"
+	"syncsim/internal/engine"
+	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
+)
+
+// Config parameterises a Server. Zero values select production defaults.
+type Config struct {
+	// Workers bounds concurrently executing jobs; 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker beyond those running;
+	// requests past workers+depth are shed with 429. 0 selects 64;
+	// negative means no waiting room.
+	QueueDepth int
+	// JobTimeout caps one job's run (queue wait included); 0 selects 2m.
+	JobTimeout time.Duration
+	// ResultCacheSize bounds the completed-payload LRU; 0 selects 256;
+	// negative disables result caching.
+	ResultCacheSize int
+	// TraceCacheCap bounds the trace cache entries; 0 selects 64;
+	// negative means unbounded (the CLI behaviour — not recommended for
+	// a resident service).
+	TraceCacheCap int
+	// MaxBodyBytes caps request bodies; 0 selects 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	switch {
+	case c.ResultCacheSize == 0:
+		c.ResultCacheSize = 256
+	case c.ResultCacheSize < 0:
+		c.ResultCacheSize = 0
+	}
+	switch {
+	case c.TraceCacheCap == 0:
+		c.TraceCacheCap = 64
+	case c.TraceCacheCap < 0:
+		c.TraceCacheCap = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the simulation service. Create one with New, mount Handler on
+// an http.Server, and shut down with BeginDrain + Drain + Close.
+type Server struct {
+	cfg        Config
+	traceCache *engine.TraceCache
+	eng        *engine.Engine
+	adm        *admission
+	flights    *flightGroup
+	results    *resultLRU
+
+	reg       *metrics.Registry
+	accepted  *metrics.Counter // jobs that reached a worker slot
+	rejected  *metrics.Counter // requests shed by the admission queue
+	completed *metrics.Counter // jobs that finished successfully
+	failed    *metrics.Counter // jobs that errored (incl. timeout/cancel)
+	coalesced *metrics.Counter // requests served by joining another's flight
+	cacheHits *metrics.Counter // requests served from the result LRU
+	simCycles *metrics.Counter // total simulated machine cycles
+	schedIt   *metrics.Counter // total scheduler iterations (Result.Sched)
+	genTime   *metrics.Timer
+	simTime   *metrics.Timer
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	inflight   atomic.Int64 // job requests currently inside a handler
+
+	// execTasks and execSuite are the execution back ends; tests swap them
+	// to count runs and to gate completion.
+	execTasks func(context.Context, []engine.Task) ([]engine.TaskResult, metrics.SuiteReport, error)
+	execSuite func(context.Context, core.Options) ([]*core.Outcome, error)
+
+	mux *http.ServeMux
+}
+
+// New builds a Server ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.traceCache = engine.NewTraceCacheCap(cfg.TraceCacheCap)
+	s.eng = engine.New(engine.Config{Workers: cfg.Workers, Cache: s.traceCache})
+	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth)
+	s.flights = newFlightGroup()
+	s.results = newResultLRU(cfg.ResultCacheSize)
+
+	s.reg = metrics.New()
+	s.accepted = s.reg.Counter("jobs_accepted")
+	s.rejected = s.reg.Counter("jobs_rejected")
+	s.completed = s.reg.Counter("jobs_completed")
+	s.failed = s.reg.Counter("jobs_failed")
+	s.coalesced = s.reg.Counter("requests_coalesced")
+	s.cacheHits = s.reg.Counter("result_cache_hits")
+	s.simCycles = s.reg.Counter("sim_cycles_total")
+	s.schedIt = s.reg.Counter("sched_iterations_total")
+	s.genTime = s.reg.Timer("phase_generate")
+	s.simTime = s.reg.Timer("phase_simulate")
+
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.execTasks = s.eng.Run
+	s.execSuite = core.RunSuiteCtx
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", metrics.Handler(s.reg, s.gauges))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// TraceCache exposes the server's bounded trace cache (for wiring and
+// tests).
+func (s *Server) TraceCache() *engine.TraceCache { return s.traceCache }
+
+// BeginDrain flips the server into draining mode: /healthz turns 503 so
+// load balancers stop routing here, and new jobs are refused, while jobs
+// already admitted run to completion. Safe to call more than once.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of job requests currently being served.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Drain blocks until every in-flight job request has finished or ctx
+// expires. Call after BeginDrain; pair with http.Server.Shutdown, which
+// waits for the connections themselves.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d job(s) still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Close cancels the server's base context, aborting any job still running.
+// Call last, after Drain.
+func (s *Server) Close() { s.baseCancel() }
+
+// gauges samples the instantaneous values for /metrics.
+func (s *Server) gauges() map[string]int64 {
+	tc := s.traceCache.Stats()
+	return map[string]int64{
+		"queue_depth":         int64(s.adm.queued()),
+		"jobs_running":        int64(s.adm.running()),
+		"inflight_requests":   s.inflight.Load(),
+		"result_cache_len":    int64(s.results.len()),
+		"trace_cache_len":     int64(tc.Len),
+		"trace_cache_cap":     int64(tc.Cap),
+		"trace_cache_hit":     tc.Hits,
+		"trace_cache_miss":    tc.Misses,
+		"trace_cache_evicted": tc.Evictions,
+		"draining":            boolGauge(s.draining.Load()),
+	}
+}
+
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// decodeBody decodes a JSON request body with a size cap, rejecting
+// trailing garbage.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// admitJobRequest performs the checks shared by the job endpoints and, on
+// success, registers the request as in-flight. The returned func must be
+// deferred.
+func (s *Server) admitJobRequest(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Add(-1) }, true
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admitJobRequest(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+
+	var req SimRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := normalizeSim(req)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if p, ok := s.results.get(job.key); ok {
+		s.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, SimResponse{SimPayload: p.(*SimPayload), Served: "cache"})
+		return
+	}
+
+	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
+		func(jobCtx context.Context) (any, error) { return s.runSim(jobCtx, job) })
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	served := "run"
+	if shared {
+		served = "coalesced"
+		s.coalesced.Inc()
+	}
+	writeJSON(w, http.StatusOK, SimResponse{SimPayload: val.(*SimPayload), Served: served})
+}
+
+// runSim executes one validated simulation job on the engine pool.
+func (s *Server) runSim(ctx context.Context, job simJob) (*SimPayload, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	s.accepted.Inc()
+
+	results, rep, err := s.execTasks(ctx, []engine.Task{job.task()})
+	if err != nil {
+		s.failed.Inc()
+		return nil, err
+	}
+	s.recordSuite(rep)
+	s.completed.Inc()
+	tr := results[0]
+	p := &SimPayload{Request: job.req, Ideal: tr.Ideal, Result: tr.Result, Report: tr.Report}
+	s.results.put(job.key, p)
+	return p, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admitJobRequest(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+
+	var req SweepRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := normalizeSweep(req)
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if p, ok := s.results.get(job.key); ok {
+		s.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, SweepResponse{SweepPayload: p.(*SweepPayload), Served: "cache"})
+		return
+	}
+
+	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
+		func(jobCtx context.Context) (any, error) { return s.runSweep(jobCtx, job) })
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	served := "run"
+	if shared {
+		served = "coalesced"
+		s.coalesced.Inc()
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{SweepPayload: val.(*SweepPayload), Served: served})
+}
+
+// runSweep executes one validated sweep job: the full benchmark × model
+// matrix through core, sharing the server's bounded trace cache so sweeps
+// and single simulations memoise the same traces.
+func (s *Server) runSweep(ctx context.Context, job sweepJob) (*SweepPayload, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	s.accepted.Inc()
+
+	var suiteRep metrics.SuiteReport
+	outs, err := s.execSuite(ctx, core.Options{
+		Scale:   job.req.Scale,
+		Seed:    job.req.Seed,
+		Models:  job.models,
+		Select:  job.sel,
+		Workers: s.cfg.Workers,
+		Metrics: true,
+		OnReport: func(r metrics.SuiteReport) {
+			suiteRep = r
+		},
+		Cache: s.traceCache,
+	})
+	if err != nil {
+		s.failed.Inc()
+		return nil, err
+	}
+	s.recordSuite(suiteRep)
+	s.completed.Inc()
+
+	p := &SweepPayload{Request: job.req, Report: suiteRep}
+	for _, o := range outs {
+		out := SweepOutcome{
+			Name:    o.Name,
+			Params:  o.Params,
+			Ideal:   o.Ideal,
+			Report:  o.Report,
+			Results: make(map[string]*machine.Result, len(o.Results)),
+		}
+		for m, res := range o.Results {
+			out.Results[m.String()] = res
+		}
+		p.Outcomes = append(p.Outcomes, out)
+	}
+	s.results.put(job.key, p)
+	return p, nil
+}
+
+// recordSuite folds one engine run's suite report into the service-level
+// metrics.
+func (s *Server) recordSuite(rep metrics.SuiteReport) {
+	s.simCycles.Add(int64(rep.SimCycles))
+	s.schedIt.Add(int64(rep.SchedIters))
+	if rep.Generate > 0 {
+		s.genTime.Observe(rep.Generate)
+	}
+	if rep.Simulate > 0 {
+		s.simTime.Observe(rep.Simulate)
+	}
+}
+
+// writeJobError maps job failures onto HTTP semantics.
+func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+	case r.Context().Err() != nil:
+		// The client is gone; there is no one to write to.
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "job timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
