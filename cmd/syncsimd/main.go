@@ -6,6 +6,8 @@
 //
 //	syncsimd [-addr :8080] [-workers N] [-queue 64] [-timeout 2m]
 //	         [-result-cache 256] [-trace-cache 64] [-drain 30s]
+//	         [-stall-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
+//	         [-chaos spec]
 //
 // Endpoints:
 //
@@ -33,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"syncsim/internal/chaos"
 	"syncsim/internal/server"
 )
 
@@ -53,8 +56,19 @@ func run(args []string, stderr io.Writer) error {
 	resultCache := fs.Int("result-cache", 256, "completed-result LRU entries (negative disables)")
 	traceCache := fs.Int("trace-cache", 64, "trace-cache LRU entries (negative = unbounded)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight jobs")
+	stall := fs.Duration("stall-timeout", 30*time.Second, "per-job watchdog: abort a job whose scheduler heartbeat stalls this long (negative disables)")
+	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout: hard cap on writing one response (0 = none)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: close keep-alive connections idle this long (0 = none)")
+	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "seed=1,panic=0.05,cancel=0.05,slow=0.1,queue=0.05,delay=5ms" or "all=0.05" (empty = off; NEVER enable in production)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	plane, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		return err
+	}
+	if plane != nil {
+		fmt.Fprintf(stderr, "syncsimd: CHAOS PLANE ARMED (%s)\n", plane)
 	}
 
 	srv := server.New(server.Config{
@@ -63,11 +77,15 @@ func run(args []string, stderr io.Writer) error {
 		JobTimeout:      *timeout,
 		ResultCacheSize: *resultCache,
 		TraceCacheCap:   *traceCache,
+		StallTimeout:    *stall,
+		Chaos:           plane,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	errc := make(chan error, 1)

@@ -1,0 +1,275 @@
+// Package chaos is the deterministic fault-injection plane behind the
+// `syncsimd -chaos` flag and the chaos soak tests: a set of named fault
+// points (worker panic, trace decode error, cancel storm, artificial job
+// slowdown, queue-full pressure) that the engine and server consult at
+// job boundaries, each firing with a configured probability.
+//
+// Decisions are deterministic in (seed, point, call index): every point
+// keeps its own atomic call counter and hashes it with the seed, so a
+// given seed produces the same fire/no-fire sequence per point regardless
+// of how goroutines interleave. That makes chaos runs reproducible enough
+// to debug from a seed while still exercising real concurrency.
+//
+// A nil *Plane is the disabled plane: every method on it is a cheap no-op
+// (a nil check), so production paths pay nothing when chaos is off.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one fault-injection site.
+type Point uint8
+
+const (
+	// WorkerPanic fires inside an engine worker just before it runs a
+	// task; the worker panics and the pool's recovery path must contain
+	// it.
+	WorkerPanic Point = iota
+	// DecodeFault replaces a successful trace fetch with ErrDecode,
+	// simulating a corrupt or undecodable trace.
+	DecodeFault
+	// CancelStorm cancels a job's context shortly after it is admitted,
+	// simulating mass client disconnects and shutdown races.
+	CancelStorm
+	// Slowdown stalls a job for the plane's Delay before it executes,
+	// exercising timeout and watchdog paths.
+	Slowdown
+	// QueueFull rejects a job as if the admission queue were full,
+	// exercising the 429 + Retry-After path.
+	QueueFull
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{"panic", "decode", "cancel", "slow", "queue"}
+
+func (p Point) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// ErrDecode is the injected trace-decode failure; it reaches clients as an
+// opaque internal error, never as a panic.
+var ErrDecode = errors.New("chaos: injected trace decode fault")
+
+// Plane is one configured fault injector. The zero value fires nothing;
+// construct with New and arm points with Set, or parse a -chaos spec with
+// Parse. All methods are safe for concurrent use and safe on a nil
+// receiver (a nil Plane is permanently inert).
+type Plane struct {
+	seed  uint64
+	prob  [numPoints]uint64 // firing threshold in [0, 2^63]; 0 = never
+	calls [numPoints]atomic.Uint64
+	fired [numPoints]atomic.Uint64
+
+	// delay is the Slowdown stall and the CancelStorm fuse. Default 1ms.
+	delay time.Duration
+}
+
+// New returns a plane with every point disarmed.
+func New(seed int64) *Plane {
+	return &Plane{seed: uint64(seed), delay: time.Millisecond}
+}
+
+// Set arms a point to fire with probability p in [0, 1].
+func (c *Plane) Set(pt Point, p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.prob[pt] = uint64(p * (1 << 63))
+}
+
+// SetDelay sets the Slowdown stall duration / CancelStorm fuse.
+func (c *Plane) SetDelay(d time.Duration) {
+	if d > 0 {
+		c.delay = d
+	}
+}
+
+// Delay returns the configured stall duration.
+func (c *Plane) Delay() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.delay
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality bijective hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Should reports whether the point fires at this call. The decision is a
+// pure function of (seed, point, per-point call index).
+func (c *Plane) Should(pt Point) bool {
+	if c == nil || c.prob[pt] == 0 {
+		return false
+	}
+	i := c.calls[pt].Add(1) - 1
+	h := splitmix64(c.seed ^ uint64(pt)<<56 ^ i)
+	if h>>1 < c.prob[pt] { // top 63 bits vs threshold
+		c.fired[pt].Add(1)
+		return true
+	}
+	return false
+}
+
+// Fired returns how many times the point has fired.
+func (c *Plane) Fired(pt Point) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.fired[pt].Load()
+}
+
+// Calls returns how many times the point has been consulted.
+func (c *Plane) Calls(pt Point) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.calls[pt].Load()
+}
+
+// Snapshot returns the per-point fired counts, keyed by point name.
+// A nil plane returns nil.
+func (c *Plane) Snapshot() map[string]uint64 {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]uint64, numPoints)
+	for pt := Point(0); pt < numPoints; pt++ {
+		out[pt.String()] = c.fired[pt].Load()
+	}
+	return out
+}
+
+// Sleep stalls for the plane's delay if the Slowdown point fires,
+// returning early if ctx dies first.
+func (c *Plane) Sleep(ctx context.Context) {
+	if !c.Should(Slowdown) {
+		return
+	}
+	t := time.NewTimer(c.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// WrapCancel arms a cancel storm on ctx: if the CancelStorm point fires,
+// the returned context is cancelled after the plane's delay. The returned
+// stop func must be called (normally deferred) to release the fuse timer.
+// When the point does not fire, ctx is returned unchanged and stop is a
+// no-op.
+func (c *Plane) WrapCancel(ctx context.Context) (context.Context, func()) {
+	if !c.Should(CancelStorm) {
+		return ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	t := time.AfterFunc(c.delay, cancel)
+	return ctx, func() { t.Stop(); cancel() }
+}
+
+// String renders the plane's configuration in Parse's spec syntax.
+func (c *Plane) String() string {
+	if c == nil {
+		return "off"
+	}
+	parts := []string{fmt.Sprintf("seed=%d", int64(c.seed))}
+	for pt := Point(0); pt < numPoints; pt++ {
+		if c.prob[pt] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", pt, float64(c.prob[pt])/(1<<63)))
+		}
+	}
+	parts = append(parts, fmt.Sprintf("delay=%s", c.delay))
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a plane from a -chaos flag spec: comma-separated key=value
+// pairs where keys are point names (panic, decode, cancel, slow, queue)
+// with probability values in [0, 1], plus seed=N and delay=DURATION.
+// "all=P" arms every point at once. An empty spec returns nil (chaos
+// off).
+func Parse(spec string) (*Plane, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "off" {
+		return nil, nil
+	}
+	c := New(1)
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: bad field %q (want key=value)", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %v", v, err)
+			}
+			c.seed = uint64(n)
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad delay %q: %v", v, err)
+			}
+			c.SetDelay(d)
+		case "all":
+			p, err := parseProb(v)
+			if err != nil {
+				return nil, err
+			}
+			for pt := Point(0); pt < numPoints; pt++ {
+				c.Set(pt, p)
+			}
+		default:
+			pt, err := pointByName(k)
+			if err != nil {
+				return nil, err
+			}
+			p, err := parseProb(v)
+			if err != nil {
+				return nil, err
+			}
+			c.Set(pt, p)
+		}
+	}
+	return c, nil
+}
+
+func parseProb(v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("chaos: bad probability %q (want a number in [0, 1])", v)
+	}
+	return p, nil
+}
+
+func pointByName(name string) (Point, error) {
+	for pt, n := range pointNames {
+		if n == name {
+			return Point(pt), nil
+		}
+	}
+	known := append([]string{}, pointNames[:]...)
+	sort.Strings(known)
+	return 0, fmt.Errorf("chaos: unknown fault point %q (have %s, all, seed, delay)", name, strings.Join(known, ", "))
+}

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDeterminism pins the plane's core contract: for a fixed seed, the
+// fire/no-fire sequence of every point is a pure function of the call
+// index, so two planes with equal configuration agree call for call.
+func TestDeterminism(t *testing.T) {
+	mk := func() *Plane {
+		c := New(42)
+		c.Set(WorkerPanic, 0.3)
+		c.Set(DecodeFault, 0.1)
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Should(WorkerPanic), b.Should(WorkerPanic); av != bv {
+			t.Fatalf("call %d: planes disagree on WorkerPanic (%v vs %v)", i, av, bv)
+		}
+		if av, bv := a.Should(DecodeFault), b.Should(DecodeFault); av != bv {
+			t.Fatalf("call %d: planes disagree on DecodeFault (%v vs %v)", i, av, bv)
+		}
+	}
+	if a.Fired(WorkerPanic) != b.Fired(WorkerPanic) {
+		t.Fatalf("fired counts diverged: %d vs %d", a.Fired(WorkerPanic), b.Fired(WorkerPanic))
+	}
+}
+
+// TestProbabilityBounds checks the rates: probability 0 never fires,
+// probability 1 always fires, and 0.5 lands loosely near half.
+func TestProbabilityBounds(t *testing.T) {
+	c := New(7)
+	c.Set(WorkerPanic, 0)
+	c.Set(DecodeFault, 1)
+	c.Set(QueueFull, 0.5)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if c.Should(WorkerPanic) {
+			t.Fatal("probability-0 point fired")
+		}
+		if !c.Should(DecodeFault) {
+			t.Fatal("probability-1 point did not fire")
+		}
+		c.Should(QueueFull)
+	}
+	if got := c.Fired(QueueFull); got < n/3 || got > 2*n/3 {
+		t.Errorf("probability-0.5 point fired %d/%d times, wildly off half", got, n)
+	}
+	if c.Calls(QueueFull) != n {
+		t.Errorf("calls = %d, want %d", c.Calls(QueueFull), n)
+	}
+}
+
+// TestNilPlaneInert proves the disabled plane is safe and free: every
+// method on a nil *Plane is a no-op.
+func TestNilPlaneInert(t *testing.T) {
+	var c *Plane
+	for pt := Point(0); pt < numPoints; pt++ {
+		if c.Should(pt) {
+			t.Fatalf("nil plane fired %v", pt)
+		}
+		if c.Fired(pt) != 0 || c.Calls(pt) != 0 {
+			t.Fatalf("nil plane has counts for %v", pt)
+		}
+	}
+	c.Sleep(context.Background()) // must not block or panic
+	ctx, stop := c.WrapCancel(context.Background())
+	stop()
+	if ctx.Err() != nil {
+		t.Fatal("nil plane cancelled a context")
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil plane snapshot not nil")
+	}
+	if c.String() != "off" {
+		t.Fatalf("nil plane String = %q", c.String())
+	}
+	if c.Delay() != 0 {
+		t.Fatalf("nil plane Delay = %v", c.Delay())
+	}
+}
+
+// TestWrapCancel checks the cancel storm: an armed wrap cancels the
+// context after the fuse delay; an unarmed one returns it untouched.
+func TestWrapCancel(t *testing.T) {
+	c := New(3)
+	c.Set(CancelStorm, 1)
+	c.SetDelay(time.Millisecond)
+	ctx, stop := c.WrapCancel(context.Background())
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("armed cancel storm never fired")
+	}
+
+	c.Set(CancelStorm, 0)
+	ctx2, stop2 := c.WrapCancel(context.Background())
+	defer stop2()
+	if ctx2.Err() != nil {
+		t.Fatal("unarmed wrap cancelled the context")
+	}
+}
+
+// TestParse covers the -chaos spec syntax.
+func TestParse(t *testing.T) {
+	c, err := Parse("seed=9,panic=0.25,slow=1,delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.seed != 9 {
+		t.Errorf("seed = %d, want 9", c.seed)
+	}
+	if c.delay != 5*time.Millisecond {
+		t.Errorf("delay = %v, want 5ms", c.delay)
+	}
+	if !c.Should(Slowdown) {
+		t.Error("slow=1 did not fire")
+	}
+	if c.Should(QueueFull) {
+		t.Error("unarmed point fired")
+	}
+
+	all, err := Parse("all=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pt := Point(0); pt < numPoints; pt++ {
+		if !all.Should(pt) {
+			t.Errorf("all=1: point %v did not fire", pt)
+		}
+	}
+
+	if c, err := Parse(""); c != nil || err != nil {
+		t.Errorf("empty spec = (%v, %v), want (nil, nil)", c, err)
+	}
+	if c, err := Parse("off"); c != nil || err != nil {
+		t.Errorf("off spec = (%v, %v), want (nil, nil)", c, err)
+	}
+	for _, bad := range []string{"panic", "panic=2", "panic=x", "bogus=0.5", "seed=x", "delay=x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestStringRoundTrip: a plane's String parses back to an equivalent one.
+func TestStringRoundTrip(t *testing.T) {
+	c, err := Parse("seed=5,panic=0.5,queue=0.25,delay=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(c.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", c.String(), err)
+	}
+	for i := 0; i < 200; i++ {
+		for pt := Point(0); pt < numPoints; pt++ {
+			if c.Should(pt) != d.Should(pt) {
+				t.Fatalf("round-tripped plane diverges at call %d point %v", i, pt)
+			}
+		}
+	}
+}

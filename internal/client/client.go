@@ -1,0 +1,269 @@
+// Package client is the resilient Go client for the syncsimd simulation
+// service: it retries retryable failures (429/502/503/504 and transport
+// errors) with capped exponential backoff and full jitter, honours the
+// server's Retry-After hints, respects the caller's context budget (it
+// never sleeps past a deadline), and surfaces terminal failures as typed
+// *APIError values so callers can tell a bad request from a dead server.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"syncsim/internal/server"
+)
+
+// APIError is a non-2xx answer from the service, carrying the taxonomy's
+// status, the (public) message body, and — for 500s minted from panics —
+// the opaque incident ID correlating with the server's log.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the response body (trimmed), never a stack trace.
+	Message string
+	// IncidentID is the X-Incident-Id header, set for recovered panics.
+	IncidentID string
+	// RetryAfter is the server's Retry-After hint, if any.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.IncidentID != "" {
+		return fmt.Sprintf("server: %d %s (incident %s)", e.Status, e.Message, e.IncidentID)
+	}
+	return fmt.Sprintf("server: %d %s", e.Status, e.Message)
+}
+
+// Retryable reports whether another attempt can succeed: load shedding
+// (429), gateway trouble (502), drain/cancel (503), and job timeout (504)
+// are transient; everything else — bad requests, invariant violations,
+// panics (deterministic for a given job) — is terminal.
+func (e *APIError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// ErrBudgetExhausted wraps the last failure when the caller's context
+// deadline cannot fit another backoff sleep + attempt.
+var ErrBudgetExhausted = errors.New("client: context budget exhausted before retry")
+
+// Config parameterises a Client; zero values select production defaults.
+type Config struct {
+	// HTTPClient performs the requests; nil selects a client with a 0
+	// (unlimited) timeout — callers bound requests with contexts.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first + retries); 0 selects 5.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff cap; 0 selects 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 selects 5s.
+	MaxBackoff time.Duration
+	// Rand yields the jitter in [0,1); nil selects math/rand/v2 (seed a
+	// deterministic one in tests).
+	Rand func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+	return c
+}
+
+// Client talks to one syncsimd base URL.
+type Client struct {
+	base string
+	cfg  Config
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, cfg Config) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), cfg: cfg.withDefaults()}
+}
+
+// Sim runs one simulation job (POST /v1/sim), retrying transient
+// failures.
+func (c *Client) Sim(ctx context.Context, req server.SimRequest) (*server.SimResponse, error) {
+	var out server.SimResponse
+	if err := c.post(ctx, "/v1/sim", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep runs one sweep job (POST /v1/sweep), retrying transient failures.
+func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error) {
+	var out server.SweepResponse
+	if err := c.post(ctx, "/v1/sweep", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the service answers /healthz with 200 (a
+// draining server answers 503). Single attempt: health checks poll.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
+	return resp.StatusCode == http.StatusOK
+}
+
+// post is the retry loop shared by the job endpoints.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	var last error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt, last); err != nil {
+				return err
+			}
+		}
+		apiErr, err := c.once(ctx, path, body, out)
+		if err == nil && apiErr == nil {
+			return nil
+		}
+		if apiErr != nil {
+			if !apiErr.Retryable() {
+				return apiErr
+			}
+			last = apiErr
+			continue
+		}
+		// Transport error: terminal if our context died, transient
+		// otherwise (connection reset, refused during restart, ...).
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
+		}
+		last = err
+	}
+	return fmt.Errorf("client: %d attempts exhausted: %w", c.cfg.MaxAttempts, last)
+}
+
+// once performs one attempt. A nil, nil return means success; a non-nil
+// *APIError is a classified server answer; a bare error is a transport
+// failure.
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) (*APIError, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    strings.TrimSpace(string(raw)),
+			IncidentID: resp.Header.Get("X-Incident-Id"),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil, nil
+}
+
+// sleep waits out the backoff before attempt (1-based among retries),
+// honouring the server's Retry-After hint as a floor and the context
+// budget as a hard ceiling: if the remaining budget cannot fit the delay,
+// it fails fast with ErrBudgetExhausted instead of sleeping into a
+// guaranteed deadline miss.
+func (c *Client) sleep(ctx context.Context, attempt int, last error) error {
+	delay := c.backoff(attempt, retryAfterOf(last))
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= delay {
+		return fmt.Errorf("%w (need %v, have %v): %v",
+			ErrBudgetExhausted, delay, time.Until(deadline).Round(time.Millisecond), last)
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("client: %w (while backing off: %v)", ctx.Err(), last)
+	}
+}
+
+// backoff computes the attempt's delay: full jitter over an exponentially
+// growing cap (AWS-style), never below the server's Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	ceiling := c.cfg.BaseBackoff << (attempt - 1)
+	if ceiling > c.cfg.MaxBackoff || ceiling <= 0 {
+		ceiling = c.cfg.MaxBackoff
+	}
+	d := time.Duration(c.cfg.Rand() * float64(ceiling))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryAfterOf extracts the hint from the last attempt's error, if it was
+// an APIError carrying one.
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value; HTTP-date
+// forms and garbage parse as 0 (no hint).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}

@@ -1,0 +1,245 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syncsim/internal/server"
+)
+
+// fakeService scripts a sequence of responses: each request pops the next
+// step; once the script is exhausted it answers 200 with a minimal
+// SimResponse.
+type fakeService struct {
+	steps []step
+	calls atomic.Int64
+}
+
+type step struct {
+	status     int
+	retryAfter string
+	incident   string
+}
+
+func (f *fakeService) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(f.calls.Add(1)) - 1
+		if n < len(f.steps) {
+			st := f.steps[n]
+			if st.retryAfter != "" {
+				w.Header().Set("Retry-After", st.retryAfter)
+			}
+			if st.incident != "" {
+				w.Header().Set("X-Incident-Id", st.incident)
+			}
+			http.Error(w, http.StatusText(st.status), st.status)
+			return
+		}
+		json.NewEncoder(w).Encode(server.SimResponse{Served: "run"}) //nolint:errcheck
+	})
+}
+
+// fastCfg removes real sleeping from the retry loop: zero jitter draw and
+// microscopic backoff caps.
+func fastCfg() Config {
+	return Config{
+		MaxAttempts: 4,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  8 * time.Microsecond,
+		Rand:        func() float64 { return 0 },
+	}
+}
+
+// TestRetryUntilSuccess: transient 429/503 answers are retried until the
+// service recovers; the final response comes back whole.
+func TestRetryUntilSuccess(t *testing.T) {
+	f := &fakeService{steps: []step{
+		{status: 429, retryAfter: "0"},
+		{status: 503},
+	}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, fastCfg())
+	out, err := c.Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Served != "run" {
+		t.Errorf("served = %q, want run", out.Served)
+	}
+	if got := f.calls.Load(); got != 3 {
+		t.Errorf("requests = %d, want 3 (429, 503, 200)", got)
+	}
+}
+
+// TestTerminalNoRetry: a 400 is the caller's bug; exactly one attempt,
+// and the typed error carries the status.
+func TestTerminalNoRetry(t *testing.T) {
+	f := &fakeService{steps: []step{{status: 400}, {status: 400}}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	_, err := New(ts.URL, fastCfg()).Sim(context.Background(), server.SimRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("err = %v, want *APIError{400}", err)
+	}
+	if ae.Retryable() {
+		t.Error("400 reported retryable")
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Errorf("requests = %d, want exactly 1 for a terminal status", got)
+	}
+}
+
+// TestPanicIncidentTerminal: a 500 minted from a recovered panic is
+// terminal (the job is deterministic — retrying re-panics) and the
+// incident ID reaches the caller for correlation.
+func TestPanicIncidentTerminal(t *testing.T) {
+	f := &fakeService{steps: []step{{status: 500, incident: "ab12cd34ef56"}}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	_, err := New(ts.URL, fastCfg()).Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Status != 500 || ae.IncidentID != "ab12cd34ef56" {
+		t.Errorf("got %+v, want status 500 with the incident ID", ae)
+	}
+	if f.calls.Load() != 1 {
+		t.Errorf("requests = %d, want 1", f.calls.Load())
+	}
+}
+
+// TestAttemptsExhausted: a persistently shedding server runs the client
+// out of attempts; the last APIError is wrapped, not swallowed.
+func TestAttemptsExhausted(t *testing.T) {
+	f := &fakeService{steps: []step{{status: 429}, {status: 429}, {status: 429}, {status: 429}, {status: 429}}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	cfg := fastCfg()
+	cfg.MaxAttempts = 3
+	_, err := New(ts.URL, cfg).Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("err = %v, want wrapped *APIError{429}", err)
+	}
+	if got := f.calls.Load(); got != 3 {
+		t.Errorf("requests = %d, want MaxAttempts=3", got)
+	}
+}
+
+// TestBudgetExhausted: when the context budget cannot fit the next
+// backoff sleep, the client fails fast with ErrBudgetExhausted rather
+// than sleeping into a guaranteed deadline miss.
+func TestBudgetExhausted(t *testing.T) {
+	f := &fakeService{steps: []step{{status: 503, retryAfter: "30"}}}
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(ts.URL, fastCfg()).Sim(ctx, server.SimRequest{Bench: "Qsort"})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("failed after %v — slept instead of failing fast", elapsed)
+	}
+}
+
+// TestBackoffSchedule pins the growth law with a deterministic jitter
+// draw: full jitter over base<<(attempt-1), capped, floored at
+// Retry-After.
+func TestBackoffSchedule(t *testing.T) {
+	c := New("http://unused", Config{
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Rand:        func() float64 { return 0.5 },
+	})
+	cases := []struct {
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{1, 0, 50 * time.Millisecond},         // 0.5 * 100ms
+		{2, 0, 100 * time.Millisecond},        // 0.5 * 200ms
+		{4, 0, 400 * time.Millisecond},        // 0.5 * 800ms
+		{5, 0, 500 * time.Millisecond},        // cap: 0.5 * 1s
+		{50, 0, 500 * time.Millisecond},       // shift overflow → cap
+		{1, 2 * time.Second, 2 * time.Second}, // Retry-After floors the draw
+	}
+	for _, tc := range cases {
+		if got := c.backoff(tc.attempt, tc.retryAfter); got != tc.want {
+			t.Errorf("backoff(%d, %v) = %v, want %v", tc.attempt, tc.retryAfter, got, tc.want)
+		}
+	}
+}
+
+// TestParseRetryAfter pins hint parsing: delay-seconds only, garbage and
+// negatives read as "no hint".
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"":        0,
+		"5":       5 * time.Second,
+		"0":       0,
+		"-3":      0,
+		"x":       0,
+		"Wed, 21": 0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestTransportErrorRetries: connection failures (server down between
+// attempts) are transient; here the service is permanently unreachable, so
+// the attempts exhaust with the transport error preserved.
+func TestTransportErrorRetries(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	ts.Close() // nothing listens here any more
+
+	cfg := fastCfg()
+	cfg.MaxAttempts = 2
+	_, err := New(ts.URL, cfg).Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	if err == nil {
+		t.Fatal("expected an error from an unreachable server")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure surfaced as APIError: %v", err)
+	}
+}
+
+// TestHealthy checks the single-attempt health probe against both
+// answers.
+func TestHealthy(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ok.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+
+	if !New(ok.URL, Config{}).Healthy(context.Background()) {
+		t.Error("healthy server reported unhealthy")
+	}
+	if New(bad.URL, Config{}).Healthy(context.Background()) {
+		t.Error("draining server reported healthy")
+	}
+}

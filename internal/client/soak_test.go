@@ -1,0 +1,213 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"syncsim/internal/chaos"
+	"syncsim/internal/engine"
+	"syncsim/internal/server"
+)
+
+// leakCheck snapshots the goroutine count and registers a cleanup that
+// waits for it to fall back, dumping all stacks on a leak.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// TestChaosSoak is the fault-containment proof for the whole stack: a
+// real server with every chaos point armed, hammered concurrently through
+// the retrying client. The invariants:
+//
+//  1. the process survives — the server still answers /healthz and fresh
+//     jobs once the storm passes;
+//  2. no goroutine leaks;
+//  3. every terminal failure is a classified status from the taxonomy,
+//     and panic-500s carry incident IDs;
+//  4. every response that DOES survive is bit-identical to a direct
+//     engine run of the same configuration — fault injection may kill
+//     requests, never corrupt them.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	leakCheck(t)
+
+	plane := chaos.New(20260806)
+	plane.Set(chaos.WorkerPanic, 0.20)
+	plane.Set(chaos.DecodeFault, 0.10)
+	plane.Set(chaos.CancelStorm, 0.10)
+	plane.Set(chaos.QueueFull, 0.10)
+	plane.Set(chaos.Slowdown, 0.30)
+	plane.SetDelay(200 * time.Microsecond)
+
+	s := server.New(server.Config{
+		Workers:         2,
+		ResultCacheSize: -1, // every request really runs: maximum fault exposure
+		Chaos:           plane,
+		Logf:            t.Logf,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The request shapes and, per shape, the expected payload from an
+	// unfaulted direct engine run (the service contract: serving layer and
+	// chaos plane change nothing about surviving results).
+	shapes := []server.SimRequest{
+		{Bench: "Grav", Scale: 0.01, Seed: 1},
+		{Bench: "Grav", Scale: 0.01, Seed: 2, Lock: "tts"},
+		{Bench: "Pdsa", Scale: 0.01, Seed: 3, Cons: "wo"},
+		{Bench: "Grav", Scale: 0.01, Seed: 4, Lock: "queue-exact"},
+	}
+	want := make([]string, len(shapes))
+	for i, sh := range shapes {
+		want[i] = directRun(t, sh)
+	}
+
+	c := New(ts.URL, Config{
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+
+	const (
+		workers  = 6
+		perGoro  = 8
+		requests = workers * perGoro
+	)
+	type outcome struct {
+		shape int
+		body  string // marshalled Result on success
+		err   error
+	}
+	results := make(chan outcome, requests)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				shape := (w + i) % len(shapes)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				resp, err := c.Sim(ctx, shapes[shape])
+				cancel()
+				if err != nil {
+					results <- outcome{shape: shape, err: err}
+					continue
+				}
+				raw, merr := json.Marshal(resp.Result)
+				if merr != nil {
+					results <- outcome{shape: shape, err: merr}
+					continue
+				}
+				results <- outcome{shape: shape, body: string(raw)}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	var succeeded, failed, incidents int
+	for out := range results {
+		if out.err != nil {
+			failed++
+			checkSoakError(t, out.err, &incidents)
+			continue
+		}
+		succeeded++
+		if out.body != want[out.shape] {
+			t.Errorf("shape %d: surviving response diverged from direct engine run\n got %s\nwant %s",
+				out.shape, out.body, want[out.shape])
+		}
+	}
+	t.Logf("soak: %d succeeded, %d failed, %d incident IDs; plane: %v",
+		succeeded, failed, incidents, plane.Snapshot())
+
+	if succeeded == 0 {
+		t.Error("no request survived the storm — chaos rates too hot to prove anything")
+	}
+	if plane.Fired(chaos.WorkerPanic) == 0 {
+		t.Error("soak never fired a worker panic; the proof is vacuous")
+	} else if incidents == 0 {
+		t.Error("worker panics fired but no client ever saw an incident ID")
+	}
+
+	// The storm is over; the process must still be a functioning service.
+	if !c.Healthy(context.Background()) {
+		t.Error("server unhealthy after the soak")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Sim(ctx, shapes[0]); err != nil {
+		// Chaos is still armed, so this retry loop can legitimately lose;
+		// what it must NOT lose to is an unclassified failure.
+		checkSoakError(t, err, &incidents)
+	}
+}
+
+// checkSoakError asserts a soak failure is one the taxonomy allows and
+// counts incident IDs on panic-500s.
+func checkSoakError(t *testing.T, err error, incidents *int) {
+	t.Helper()
+	if errors.Is(err, ErrBudgetExhausted) || errors.Is(err, context.DeadlineExceeded) {
+		return // legal: the caller's budget ran out mid-storm (sleep or POST)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Errorf("unclassified soak failure: %v", err)
+		return
+	}
+	switch ae.Status {
+	case http.StatusInternalServerError:
+		// Panic-500s carry incidents; decode-fault 500s do not.
+		if ae.IncidentID != "" {
+			*incidents++
+		}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		// Shedding, cancel storms, and timeouts: expected storm weather.
+	default:
+		t.Errorf("status %d is not part of the expected failure taxonomy: %v", ae.Status, ae)
+	}
+}
+
+// directRun executes one request shape straight on a fresh engine (no
+// server, no chaos) and returns the marshalled Result.
+func directRun(t *testing.T, req server.SimRequest) string {
+	t.Helper()
+	task, err := server.TaskForRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := engine.New(engine.Config{Workers: 1}).Run(context.Background(), []engine.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res[0].Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

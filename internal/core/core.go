@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 
+	"syncsim/internal/chaos"
 	"syncsim/internal/engine"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
@@ -132,6 +133,9 @@ type Options struct {
 	// regenerated. Nil gives the run a private cache. Long-lived callers
 	// should pass a bounded cache (engine.NewTraceCacheCap).
 	Cache *engine.TraceCache
+	// Chaos, when non-nil, is the fault-injection plane handed to the
+	// engine (see internal/chaos). Nil is inert.
+	Chaos *chaos.Plane
 }
 
 // Option mutates an Options value; see NewOptions.
@@ -298,7 +302,7 @@ func runMatrix(ctx context.Context, benches []suite.Benchmark, opts Options) ([]
 		}
 	}
 
-	eng := engine.New(engine.Config{Workers: opts.Workers, Progress: opts.Progress, Cache: opts.Cache})
+	eng := engine.New(engine.Config{Workers: opts.Workers, Progress: opts.Progress, Cache: opts.Cache, Chaos: opts.Chaos})
 	results, report, err := eng.Run(ctx, tasks)
 	if err != nil {
 		return nil, err

@@ -14,10 +14,12 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"syncsim/internal/chaos"
 	"syncsim/internal/machine"
 	"syncsim/internal/metrics"
 	"syncsim/internal/trace"
@@ -65,12 +67,17 @@ type Config struct {
 	// Cache is the trace cache to use; nil creates a private one. Pass a
 	// shared cache to memoise traces across several Run calls.
 	Cache *TraceCache
+	// Chaos, when non-nil, is the fault-injection plane consulted at the
+	// engine's task boundaries (worker panic, trace decode fault). nil —
+	// the production default — is permanently inert.
+	Chaos *chaos.Plane
 }
 
 // Engine schedules simulation tasks over a bounded worker pool.
 type Engine struct {
 	workers  int
 	cache    *TraceCache
+	chaos    *chaos.Plane
 	progress func(format string, args ...any)
 	progMu   sync.Mutex
 }
@@ -85,7 +92,7 @@ func New(cfg Config) *Engine {
 	if cache == nil {
 		cache = NewTraceCache()
 	}
-	return &Engine{workers: workers, cache: cache, progress: cfg.Progress}
+	return &Engine{workers: workers, cache: cache, chaos: cfg.Chaos, progress: cfg.Progress}
 }
 
 // Cache returns the engine's trace cache.
@@ -155,7 +162,7 @@ func (e *Engine) Run(ctx context.Context, tasks []Task) ([]TaskResult, metrics.S
 					continue // drain the feed without starting new work
 				}
 				t0 := time.Now()
-				res, err := e.runTask(runCtx, &tasks[i], taskMetrics{
+				res, err := e.runTaskSafe(runCtx, &tasks[i], taskMetrics{
 					hits: hits, misses: misses, cycles: cycles,
 					iters: iters, steps: steps,
 					generate: generate, analyze: analyze, simulate: simulate,
@@ -210,14 +217,33 @@ type taskMetrics struct {
 	generate, analyze, simulate *metrics.Timer
 }
 
+// runTaskSafe is runTask behind a panic barrier: a panic anywhere in task
+// execution — the machine core's invariant panics included — is recovered
+// into a *PanicError that fails this task alone. The worker goroutine, the
+// pool, and every sibling task survive.
+func (e *Engine) runTaskSafe(ctx context.Context, t *Task, tm taskMetrics) (res TaskResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = TaskResult{}, Recovered(t.Program.Name()+"/"+t.Label, v)
+		}
+	}()
+	return e.runTask(ctx, t, tm)
+}
+
 // runTask executes one task: trace lookup (generating on a cache miss),
 // then simulation unless the task is ideal-only.
 func (e *Engine) runTask(ctx context.Context, t *Task, tm taskMetrics) (TaskResult, error) {
 	if err := ctx.Err(); err != nil {
 		return TaskResult{}, err
 	}
+	if e.chaos.Should(chaos.WorkerPanic) {
+		panic(fmt.Sprintf("chaos: injected worker panic (%s/%s)", t.Program.Name(), t.Label))
+	}
 	wallStart := time.Now()
 	set, ideal, info, err := e.cache.Get(ctx, t.Program, t.Params, e.progressf)
+	if err == nil && e.chaos.Should(chaos.DecodeFault) {
+		err = fmt.Errorf("engine: %s: %w", t.Program.Name(), chaos.ErrDecode)
+	}
 	if err != nil {
 		return TaskResult{}, err
 	}

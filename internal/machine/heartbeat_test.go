@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHeartbeat proves the liveness contract behind the server watchdog:
+// a context built with WithHeartbeat receives beats at the CancelEvery
+// cadence while the run advances, the reported iteration counts are
+// monotone, and the final Result.Sched.Iterations is consistent with what
+// the beats observed.
+func TestHeartbeat(t *testing.T) {
+	var beats atomic.Uint64
+	var lastIters atomic.Uint64
+	cfg := DefaultConfig()
+	cfg.CancelEvery = 64
+	ctx := WithHeartbeat(context.Background(), func(iters uint64) {
+		beats.Add(1)
+		if prev := lastIters.Load(); iters < prev {
+			t.Errorf("heartbeat iterations went backwards: %d after %d", iters, prev)
+		}
+		lastIters.Store(iters)
+	})
+	res, err := RunCtx(ctx, pingPongSet(500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beats.Load() == 0 {
+		t.Fatal("no heartbeats delivered despite CancelEvery=64")
+	}
+	if got, ran := lastIters.Load(), res.Sched.Iterations; got > ran {
+		t.Errorf("last heartbeat saw %d iterations, run only made %d", got, ran)
+	}
+}
+
+// TestHeartbeatAbsent pins that a plain context neither beats nor costs:
+// Beat on a bare context is a no-op and RunCtx works unchanged.
+func TestHeartbeatAbsent(t *testing.T) {
+	ctx := context.Background()
+	Beat(ctx, 1) // must not panic
+	if _, err := RunCtx(ctx, pingPongSet(5), DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBeat pins the exported feeder used by stub executors.
+func TestBeat(t *testing.T) {
+	var got []uint64
+	ctx := WithHeartbeat(context.Background(), func(i uint64) { got = append(got, i) })
+	Beat(ctx, 7)
+	Beat(ctx, 9)
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("beats = %v, want [7 9]", got)
+	}
+}

@@ -97,6 +97,10 @@ type Machine struct {
 	iters uint64 // visited simulation cycles
 	steps uint64 // cpu step() invocations
 
+	// heartbeat, when non-nil, is fed at every cancellation poll (see
+	// WithHeartbeat). Set by RunCtx from its context.
+	heartbeat func(iterations uint64)
+
 	checker *checker // non-nil when Config.Check is set
 }
 
@@ -186,13 +190,46 @@ func RunCtx(ctx context.Context, set *trace.Set, cfg Config) (*Result, error) {
 // Run drives the machine until every processor has retired its trace.
 func (m *Machine) Run() (*Result, error) { return m.RunCtx(context.Background()) }
 
+// heartbeatKey carries a liveness callback through a context; see
+// WithHeartbeat.
+type heartbeatKey struct{}
+
+// WithHeartbeat returns a context carrying a liveness heartbeat: RunCtx
+// invokes fn(iterations so far) at every cancellation poll — once per
+// Config.CancelEvery visited cycles — from the simulation goroutine.
+// External watchdogs use the beats to tell a long-but-advancing run from a
+// wedged one and abort the latter by cancelling the job's context, without
+// adding anything to the per-cycle hot path. fn must be cheap and must not
+// block.
+func WithHeartbeat(ctx context.Context, fn func(iterations uint64)) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, fn)
+}
+
+// heartbeatFrom extracts the heartbeat callback, if any.
+func heartbeatFrom(ctx context.Context) func(uint64) {
+	fn, _ := ctx.Value(heartbeatKey{}).(func(uint64))
+	return fn
+}
+
+// Beat invokes the heartbeat carried by ctx, if any. Executors other than
+// the machine loop (test stubs, alternative back ends) call it to feed
+// the same watchdogs the real simulator feeds.
+func Beat(ctx context.Context, iterations uint64) {
+	if fn := heartbeatFrom(ctx); fn != nil {
+		fn(iterations)
+	}
+}
+
 // RunCtx drives the machine until every processor has retired its trace or
 // ctx is done, whichever comes first. Cancellation returns a wrapped
 // ctx.Err() (errors.Is-able against context.Canceled / DeadlineExceeded).
+// A heartbeat installed with WithHeartbeat is fed at the same cadence as
+// the cancellation poll.
 func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
 	}
+	m.heartbeat = heartbeatFrom(ctx)
 	var err error
 	if m.sched != nil {
 		err = m.runCalendar(ctx)
@@ -261,6 +298,9 @@ func (m *Machine) runPolling(ctx context.Context) error {
 		}
 		if sinceCheck++; sinceCheck >= checkEvery {
 			sinceCheck = 0
+			if m.heartbeat != nil {
+				m.heartbeat(m.iters)
+			}
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
 			}
@@ -358,6 +398,9 @@ func (m *Machine) runCalendar(ctx context.Context) error {
 		}
 		if sinceCheck++; sinceCheck >= checkEvery {
 			sinceCheck = 0
+			if m.heartbeat != nil {
+				m.heartbeat(m.iters)
+			}
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("machine: %s cancelled at cycle %d: %w", m.name, m.now, err)
 			}

@@ -5,7 +5,20 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"syncsim/internal/engine"
 )
+
+// runJobRecovered executes one job function behind a recover barrier,
+// converting a panic into a *engine.PanicError keyed by the job.
+func runJobRecovered(key string, ctx context.Context, fn func(context.Context) (any, error)) (val any, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			val, err = nil, engine.Recovered(key, v)
+		}
+	}()
+	return fn(ctx)
+}
 
 // flight is one in-progress job that any number of identical requests
 // share. The leader (the request that created the flight) executes the
@@ -89,7 +102,11 @@ func (g *flightGroup) do(callerCtx, base context.Context, timeout time.Duration,
 	// keeps running as long as any follower is still waiting.
 	stop := context.AfterFunc(callerCtx, f.leave)
 
-	f.val, f.err = fn(jobCtx)
+	// The panic barrier is part of the flight contract: a panicking job
+	// must still finish its flight (close done, vacate the key) or every
+	// follower would hang forever and the key would be poisoned. The panic
+	// becomes an ordinary *engine.PanicError that all waiters receive.
+	f.val, f.err = runJobRecovered(key, jobCtx, fn)
 
 	g.mu.Lock()
 	delete(g.m, key)

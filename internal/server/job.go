@@ -116,6 +116,17 @@ func normalizeSim(req SimRequest) (simJob, error) {
 	return job, nil
 }
 
+// TaskForRequest resolves a SimRequest to the exact engine.Task the
+// service would run for it. Differential harnesses use it to replay a
+// served request straight on an engine and demand bit-identical results.
+func TaskForRequest(req SimRequest) (engine.Task, error) {
+	job, err := normalizeSim(req)
+	if err != nil {
+		return engine.Task{}, err
+	}
+	return job.task(), nil
+}
+
 // task converts the job into the engine's schedulable unit.
 func (j simJob) task() engine.Task {
 	return engine.Task{

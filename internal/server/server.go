@@ -25,12 +25,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"syncsim/internal/chaos"
 	"syncsim/internal/core"
 	"syncsim/internal/engine"
 	"syncsim/internal/machine"
@@ -56,6 +61,17 @@ type Config struct {
 	TraceCacheCap int
 	// MaxBodyBytes caps request bodies; 0 selects 1 MiB.
 	MaxBodyBytes int64
+	// StallTimeout arms the per-job watchdog: a job whose scheduler
+	// heartbeat stalls for this long is aborted (504) without touching the
+	// process. 0 selects 30s; negative disables the watchdog.
+	StallTimeout time.Duration
+	// Chaos, when non-nil, is the fault-injection plane consulted at job
+	// boundaries (see internal/chaos and the syncsimd -chaos flag). Nil —
+	// the production default — is permanently inert.
+	Chaos *chaos.Plane
+	// Logf receives operational log lines (panic incidents with stacks).
+	// Nil selects log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -106,10 +128,15 @@ type Server struct {
 	failed    *metrics.Counter // jobs that errored (incl. timeout/cancel)
 	coalesced *metrics.Counter // requests served by joining another's flight
 	cacheHits *metrics.Counter // requests served from the result LRU
+	panicked  *metrics.Counter // jobs that panicked (recovered; 500 + incident)
+	wedged    *metrics.Counter // jobs aborted by the liveness watchdog
 	simCycles *metrics.Counter // total simulated machine cycles
 	schedIt   *metrics.Counter // total scheduler iterations (Result.Sched)
 	genTime   *metrics.Timer
 	simTime   *metrics.Timer
+
+	chaos *chaos.Plane
+	logf  func(format string, args ...any)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -127,9 +154,9 @@ type Server struct {
 // New builds a Server ready to serve.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, chaos: cfg.Chaos, logf: cfg.Logf}
 	s.traceCache = engine.NewTraceCacheCap(cfg.TraceCacheCap)
-	s.eng = engine.New(engine.Config{Workers: cfg.Workers, Cache: s.traceCache})
+	s.eng = engine.New(engine.Config{Workers: cfg.Workers, Cache: s.traceCache, Chaos: cfg.Chaos})
 	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth)
 	s.flights = newFlightGroup()
 	s.results = newResultLRU(cfg.ResultCacheSize)
@@ -141,6 +168,8 @@ func New(cfg Config) *Server {
 	s.failed = s.reg.Counter("jobs_failed")
 	s.coalesced = s.reg.Counter("requests_coalesced")
 	s.cacheHits = s.reg.Counter("result_cache_hits")
+	s.panicked = s.reg.Counter("jobs_panicked")
+	s.wedged = s.reg.Counter("jobs_wedged")
 	s.simCycles = s.reg.Counter("sim_cycles_total")
 	s.schedIt = s.reg.Counter("sched_iterations_total")
 	s.genTime = s.reg.Timer("phase_generate")
@@ -163,8 +192,20 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux behind a
+// recover barrier, so a panic that escapes any handler (the job layer has
+// its own barrier inside the flight) is answered with a 500 + incident ID
+// instead of tearing down the connection with no response.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.writeError(w, r, engine.Recovered(r.Method+" "+r.URL.Path, v))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // TraceCache exposes the server's bounded trace cache (for wiring and
 // tests).
@@ -206,7 +247,7 @@ func (s *Server) Close() { s.baseCancel() }
 // gauges samples the instantaneous values for /metrics.
 func (s *Server) gauges() map[string]int64 {
 	tc := s.traceCache.Stats()
-	return map[string]int64{
+	g := map[string]int64{
 		"queue_depth":         int64(s.adm.queued()),
 		"jobs_running":        int64(s.adm.running()),
 		"inflight_requests":   s.inflight.Load(),
@@ -217,7 +258,12 @@ func (s *Server) gauges() map[string]int64 {
 		"trace_cache_miss":    tc.Misses,
 		"trace_cache_evicted": tc.Evictions,
 		"draining":            boolGauge(s.draining.Load()),
+		"chaos_enabled":       boolGauge(s.chaos != nil),
 	}
+	for pt, fired := range s.chaos.Snapshot() {
+		g["chaos_fired_"+pt] = int64(fired)
+	}
+	return g
 }
 
 func boolGauge(b bool) int64 {
@@ -227,10 +273,47 @@ func boolGauge(b bool) int64 {
 	return 0
 }
 
+// Retry-After bounds: the adaptive hint never strays outside [min, max]
+// seconds regardless of queue pressure or jitter (pinned by
+// TestRetryAfterBounds).
+const (
+	minRetryAfterSec = 1
+	maxRetryAfterSec = 30
+)
+
+// retryAfterSeconds derives a Retry-After hint from queue pressure: an
+// idle waiting room suggests ~1s, a saturated one pushes clients out
+// toward 16s, and ±25% full jitter (u uniform in [0,1)) decorrelates a
+// herd of rejected clients so they do not return in lockstep.
+func retryAfterSeconds(queued, capacity int, u float64) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	frac := float64(queued) / float64(capacity)
+	if frac > 1 {
+		frac = 1
+	}
+	base := 1 + frac*15          // 1..16s as the queue fills
+	sec := base * (0.75 + 0.5*u) // ±25% full jitter
+	n := int(math.Round(sec))
+	if n < minRetryAfterSec {
+		n = minRetryAfterSec
+	}
+	if n > maxRetryAfterSec {
+		n = maxRetryAfterSec
+	}
+	return n
+}
+
+// retryAfterHint renders the adaptive hint for response headers.
+func (s *Server) retryAfterHint() string {
+	return strconv.Itoa(retryAfterSeconds(s.adm.queued(), s.cfg.QueueDepth, rand.Float64()))
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"status":"draining"}`)
 		return
@@ -263,7 +346,7 @@ func (s *Server) admitJobRequest(w http.ResponseWriter, r *http.Request) (func()
 		return nil, false
 	}
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
 		return nil, false
 	}
@@ -280,12 +363,12 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 
 	var req SimRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, fmt.Errorf("%w: %w", errBadRequest, err))
 		return
 	}
 	job, err := normalizeSim(req)
 	if err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, fmt.Errorf("%w: %w", errBadRequest, err))
 		return
 	}
 
@@ -298,7 +381,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
 		func(jobCtx context.Context) (any, error) { return s.runSim(jobCtx, job) })
 	if err != nil {
-		s.writeJobError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	served := "run"
@@ -309,18 +392,27 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SimResponse{SimPayload: val.(*SimPayload), Served: served})
 }
 
-// runSim executes one validated simulation job on the engine pool.
+// runSim executes one validated simulation job on the engine pool, under
+// the chaos plane's job-boundary faults and the liveness watchdog.
 func (s *Server) runSim(ctx context.Context, job simJob) (*SimPayload, error) {
+	if s.chaos.Should(chaos.QueueFull) {
+		return nil, errBusy
+	}
 	if err := s.adm.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.adm.release()
 	s.accepted.Inc()
+	s.chaos.Sleep(ctx)
+	ctx, stopStorm := s.chaos.WrapCancel(ctx)
+	defer stopStorm()
+	wctx, stopWatch := s.watchJob(ctx)
+	defer stopWatch()
 
-	results, rep, err := s.execTasks(ctx, []engine.Task{job.task()})
+	results, rep, err := s.execTasks(wctx, []engine.Task{job.task()})
 	if err != nil {
 		s.failed.Inc()
-		return nil, err
+		return nil, resolveWedged(wctx, err)
 	}
 	s.recordSuite(rep)
 	s.completed.Inc()
@@ -339,12 +431,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	var req SweepRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, fmt.Errorf("%w: %w", errBadRequest, err))
 		return
 	}
 	job, err := normalizeSweep(req)
 	if err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.writeError(w, r, fmt.Errorf("%w: %w", errBadRequest, err))
 		return
 	}
 
@@ -357,7 +449,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
 		func(jobCtx context.Context) (any, error) { return s.runSweep(jobCtx, job) })
 	if err != nil {
-		s.writeJobError(w, r, err)
+		s.writeError(w, r, err)
 		return
 	}
 	served := "run"
@@ -372,14 +464,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // matrix through core, sharing the server's bounded trace cache so sweeps
 // and single simulations memoise the same traces.
 func (s *Server) runSweep(ctx context.Context, job sweepJob) (*SweepPayload, error) {
+	if s.chaos.Should(chaos.QueueFull) {
+		return nil, errBusy
+	}
 	if err := s.adm.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.adm.release()
 	s.accepted.Inc()
+	s.chaos.Sleep(ctx)
+	ctx, stopStorm := s.chaos.WrapCancel(ctx)
+	defer stopStorm()
+	wctx, stopWatch := s.watchJob(ctx)
+	defer stopWatch()
 
 	var suiteRep metrics.SuiteReport
-	outs, err := s.execSuite(ctx, core.Options{
+	outs, err := s.execSuite(wctx, core.Options{
 		Scale:   job.req.Scale,
 		Seed:    job.req.Seed,
 		Models:  job.models,
@@ -390,10 +490,11 @@ func (s *Server) runSweep(ctx context.Context, job sweepJob) (*SweepPayload, err
 			suiteRep = r
 		},
 		Cache: s.traceCache,
+		Chaos: s.chaos,
 	})
 	if err != nil {
 		s.failed.Inc()
-		return nil, err
+		return nil, resolveWedged(wctx, err)
 	}
 	s.recordSuite(suiteRep)
 	s.completed.Inc()
@@ -426,25 +527,6 @@ func (s *Server) recordSuite(rep metrics.SuiteReport) {
 	}
 	if rep.Simulate > 0 {
 		s.simTime.Observe(rep.Simulate)
-	}
-}
-
-// writeJobError maps job failures onto HTTP semantics.
-func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
-	switch {
-	case errors.Is(err, errBusy):
-		s.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
-	case r.Context().Err() != nil:
-		// The client is gone; there is no one to write to.
-	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "job timed out", http.StatusGatewayTimeout)
-	case errors.Is(err, context.Canceled):
-		w.Header().Set("Retry-After", "5")
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -143,6 +144,30 @@ func gatedServer(cfg Config) (*Server, *atomic.Int64, chan struct{}) {
 	return s, runs, gate
 }
 
+// leakCheck snapshots the goroutine count and registers a cleanup that
+// waits (briefly) for the count to fall back, failing with a full stack
+// dump if goroutines outlive the test body. Call it FIRST in the test so
+// its cleanup runs after every deferred teardown (server Close, httptest
+// Close).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
 // waitFor polls cond for up to 5 seconds.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
@@ -160,6 +185,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // requests cause exactly one engine execution, with one "run" response and
 // N-1 "coalesced" ones all carrying the same payload.
 func TestCoalescing(t *testing.T) {
+	leakCheck(t)
 	s, runs, gate := gatedServer(Config{Workers: 2, ResultCacheSize: -1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
@@ -249,6 +275,7 @@ func TestBackpressure(t *testing.T) {
 // and health checks turn 503, but the job already in flight runs to
 // completion and is answered 200, after which Drain returns.
 func TestGracefulDrain(t *testing.T) {
+	leakCheck(t)
 	s, _, gate := gatedServer(Config{Workers: 2, ResultCacheSize: -1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
@@ -309,6 +336,7 @@ func TestGracefulDrain(t *testing.T) {
 // the request that started the job hangs up, but a follower is still
 // waiting, so the job must not be cancelled.
 func TestLeaderDisconnectKeepsFollowers(t *testing.T) {
+	leakCheck(t)
 	s, runs, gate := gatedServer(Config{Workers: 2, ResultCacheSize: -1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"syncsim/internal/machine"
+)
+
+// watchJob arms the per-job liveness watchdog: the returned context
+// carries a machine.WithHeartbeat callback, so once the simulation loop
+// starts beating (one beat per Config.CancelEvery scheduler iterations —
+// Result.Sched counts the same iterations), the monitor demands a fresh
+// beat every StallTimeout. A job whose heartbeat stalls is aborted through
+// its own context with an errWedged cause; the process, the pool, and
+// every other job are untouched.
+//
+// The watchdog only arms after the FIRST beat: queue wait and trace
+// generation legitimately produce none, and the job-level timeout already
+// bounds those phases.
+//
+// The returned stop func must be called (normally deferred) to release
+// the monitor goroutine.
+func (s *Server) watchJob(ctx context.Context) (context.Context, func()) {
+	stall := s.cfg.StallTimeout
+	if stall <= 0 {
+		return ctx, func() {}
+	}
+	wctx, cancel := context.WithCancelCause(ctx)
+	var beats atomic.Uint64
+	hctx := machine.WithHeartbeat(wctx, func(uint64) { beats.Add(1) })
+
+	done := make(chan struct{})
+	go func() {
+		interval := stall / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var last uint64
+		var lastBeat time.Time
+		for {
+			select {
+			case <-done:
+				return
+			case <-wctx.Done():
+				return
+			case <-tick.C:
+				b := beats.Load()
+				if b == 0 {
+					continue // not armed: simulation has not started beating
+				}
+				if b != last {
+					last, lastBeat = b, time.Now()
+					continue
+				}
+				if time.Since(lastBeat) >= stall {
+					s.wedged.Inc()
+					cancel(fmt.Errorf("%w (no heartbeat for %v after %d beats)", errWedged, stall, b))
+					return
+				}
+			}
+		}
+	}()
+	return hctx, func() {
+		close(done)
+		cancel(context.Canceled)
+	}
+}
+
+// resolveWedged rewrites a cancellation that the watchdog caused back onto
+// the errWedged sentinel, so the taxonomy answers 504 (the job is dead,
+// not the server) instead of 503.
+func resolveWedged(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && errors.Is(cause, errWedged) {
+		return fmt.Errorf("%w; run aborted: %v", cause, err)
+	}
+	return err
+}

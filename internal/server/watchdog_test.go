@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"syncsim/internal/engine"
+	"syncsim/internal/machine"
+	"syncsim/internal/metrics"
+)
+
+// watchdogServer builds a server with a short stall timeout and an
+// execTasks stub driven by the given body. The stub receives the
+// watchdog-instrumented context, so machine.Beat(ctx, ...) feeds the
+// monitor exactly as a real scheduler loop would.
+func watchdogServer(stall time.Duration, body func(ctx context.Context) error) *Server {
+	s := New(Config{Workers: 2, ResultCacheSize: -1, StallTimeout: stall})
+	s.execTasks = func(ctx context.Context, tasks []engine.Task) ([]engine.TaskResult, metrics.SuiteReport, error) {
+		if err := body(ctx); err != nil {
+			return nil, metrics.SuiteReport{}, err
+		}
+		return []engine.TaskResult{{Result: &machine.Result{RunTime: 42}}}, metrics.SuiteReport{}, nil
+	}
+	return s
+}
+
+// TestWatchdogAbortsWedgedJob: a job that heartbeats and then goes silent
+// (a livelocked scheduler loop) is aborted by the watchdog — answered 504,
+// counted in jobs_wedged — without touching the process or the pool.
+func TestWatchdogAbortsWedgedJob(t *testing.T) {
+	leakCheck(t)
+	s := watchdogServer(30*time.Millisecond, func(ctx context.Context) error {
+		for i := uint64(1); i <= 3; i++ {
+			machine.Beat(ctx, i*100)
+		}
+		// Wedge: stop beating but keep "running" until aborted.
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, resp := postSim(t, ts, `{"bench":"Qsort","scale":0.01}`)
+	if resp == nil || resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 for a wedged job", resp.StatusCode)
+	}
+	snap := s.reg.Snapshot()
+	if snap.Counters["jobs_wedged"] != 1 {
+		t.Errorf("jobs_wedged = %d, want 1", snap.Counters["jobs_wedged"])
+	}
+	if snap.Counters["jobs_panicked"] != 0 {
+		t.Errorf("jobs_panicked = %d, want 0 (wedge is not a panic)", snap.Counters["jobs_panicked"])
+	}
+}
+
+// TestWatchdogSparesHealthyJob: continuous heartbeats keep a slow job
+// alive well past the stall timeout.
+func TestWatchdogSparesHealthyJob(t *testing.T) {
+	leakCheck(t)
+	const stall = 40 * time.Millisecond
+	s := watchdogServer(stall, func(ctx context.Context) error {
+		deadline := time.Now().Add(4 * stall) // far beyond one stall window
+		for i := uint64(1); time.Now().Before(deadline); i++ {
+			machine.Beat(ctx, i*64)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		return nil
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, resp := postSim(t, ts, `{"bench":"Qsort","scale":0.01}`)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 for a slow-but-beating job", resp.StatusCode)
+	}
+	if n := s.reg.Snapshot().Counters["jobs_wedged"]; n != 0 {
+		t.Errorf("jobs_wedged = %d, want 0", n)
+	}
+}
+
+// TestWatchdogUnarmedBeforeFirstBeat: the monitor arms only once the
+// simulation phase starts beating, so a job spending longer than the
+// stall timeout in queue wait or trace generation (which cannot beat) is
+// not shot; that phase is the JobTimeout's jurisdiction.
+func TestWatchdogUnarmedBeforeFirstBeat(t *testing.T) {
+	leakCheck(t)
+	s := watchdogServer(20*time.Millisecond, func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond): // 5x stall, zero beats
+			return nil
+		}
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, resp := postSim(t, ts, `{"bench":"Qsort","scale":0.01}`)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200: watchdog must not arm before the first beat", resp.StatusCode)
+	}
+}
+
+// TestWatchdogDisabled: StallTimeout < 0 turns the watchdog off entirely —
+// no monitor goroutine, no heartbeat context, jobs run as before.
+func TestWatchdogDisabled(t *testing.T) {
+	leakCheck(t)
+	s := New(Config{Workers: 1, ResultCacheSize: -1, StallTimeout: -1})
+	defer s.Close()
+	ctx, stop := s.watchJob(context.Background())
+	defer stop()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("disabled watchdog added a deadline")
+	}
+	if ctx.Done() != nil {
+		t.Error("disabled watchdog wrapped the context in a cancelable one")
+	}
+}
