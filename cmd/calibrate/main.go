@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"syncsim/internal/tables"
 	"syncsim/internal/trace"
 	"syncsim/internal/workload"
 	"syncsim/internal/workload/addr"
@@ -40,23 +41,8 @@ func main() {
 			continue
 		}
 		s := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
-		t := b.Paper
 		fmt.Printf("%-9s gen=%v\n", s.Name, time.Since(start).Round(time.Millisecond))
-		line := func(label string, got, want float64) {
-			ratio := 0.0
-			if want > 0 {
-				ratio = got / want
-			}
-			fmt.Printf("  %-8s %10.0f / %10.0f  (x%.2f)\n", label, got, want, ratio)
-		}
-		line("workK", s.WorkCycles/1000/scale, t.WorkKCycles)
-		line("refsK", s.Refs/1000/scale, t.RefsK)
-		line("dataK", s.DataRefs/1000/scale, t.DataK)
-		line("sharedK", s.SharedRefs/1000/scale, t.SharedK)
-		line("pairs", s.LockPairs/scale, t.LockPairs)
-		line("nested", s.NestedLocks/scale, t.NestedLocks)
-		line("avgHeld", s.AvgHeld, t.AvgHeld)
-		line("pctHeld", s.PctTime, t.PctTime)
+		fmt.Print(tables.FormatTargets(tables.TargetRows(s, b.Paper, scale)))
 	}
 	os.Exit(status)
 }

@@ -1,0 +1,214 @@
+// Command predict is the offline half of the analytic prediction layer:
+// it calibrates the queueing-style model against full cycle-exact
+// simulation grids, writes the fitted model JSON that syncsimd
+// -predict-model serves, and evaluates or reports on a fitted model.
+//
+// Usage:
+//
+//	predict -calibrate -scales 0.01,0.02 [-seeds 1,2] [-only Grav,Qsort]
+//	        [-workers N] [-o model.json]
+//	predict -model model.json -report [-scale 0.25]
+//	predict -model model.json -cell Grav/queue -scale 0.3
+//
+// Calibrate runs every benchmark × machine-model × scale × seed cell of
+// the grid, fits the per-cell parameter vectors, prints the calibration
+// self-error per cell, and writes the model. Report prints the fitted
+// cells and, per benchmark, the generator-vs-paper target rows (the same
+// comparison cmd/calibrate prints). A -cell query evaluates one cell and
+// prints the prediction as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"syncsim/internal/predict"
+	"syncsim/internal/tables"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+	"syncsim/internal/workload/suite"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	calibrate := fs.Bool("calibrate", false, "run the simulation grid and fit a model")
+	scales := fs.String("scales", "", "comma-separated calibration scales (calibrate mode)")
+	seeds := fs.String("seeds", "1,2", "comma-separated calibration seeds")
+	only := fs.String("only", "", "comma-separated benchmark subset (empty = all six)")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	out := fs.String("o", "model.json", "output path for the fitted model")
+	modelPath := fs.String("model", "", "fitted model JSON to load (report / query modes)")
+	report := fs.Bool("report", false, "print the loaded model's cells and generator-vs-paper targets")
+	cell := fs.String("cell", "", `cell to evaluate, "Bench/model" (e.g. Grav/queue)`)
+	scale := fs.Float64("scale", 0, "workload scale for a -cell query, or the target-comparison scale in -report (0 = 0.25)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *calibrate:
+		return runCalibrate(*scales, *seeds, *only, *workers, *out, stdout, stderr)
+	case *modelPath != "" && *report:
+		return runReport(*modelPath, *scale, stdout)
+	case *modelPath != "" && *cell != "":
+		return runQuery(*modelPath, *cell, *scale, stdout)
+	default:
+		return fmt.Errorf("nothing to do: want -calibrate, or -model with -report or -cell (see -h)")
+	}
+}
+
+func runCalibrate(scales, seeds, only string, workers int, out string, stdout, stderr io.Writer) error {
+	ss, err := parseFloats(scales)
+	if err != nil || len(ss) == 0 {
+		return fmt.Errorf("calibrate needs -scales, e.g. -scales 0.01,0.02 (%v)", err)
+	}
+	sd, err := parseInts(seeds)
+	if err != nil {
+		return fmt.Errorf("bad -seeds: %v", err)
+	}
+	model, points, err := predict.CalibrateGrid(context.Background(), predict.CalibrateOptions{
+		Scales:  ss,
+		Seeds:   sd,
+		Only:    parseList(only),
+		Workers: workers,
+		Progress: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fitted %d cells from %d grid points\n", len(model.Cells), len(points))
+	printCells(model, stdout)
+	if err := predict.SaveFile(out, model); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "model written to %s\n", out)
+	return nil
+}
+
+func runReport(path string, genScale float64, stdout io.Writer) error {
+	model, err := predict.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "model v%d: %d cells, scales %v, seeds %v\n",
+		model.Version, len(model.Cells), model.Scales, model.Seeds)
+	printCells(model, stdout)
+
+	// Generator fidelity context: the analytic model is only as good as
+	// the workloads it was fitted on, so the report closes with each
+	// benchmark's ideal statistics against the paper's published targets
+	// (the cmd/calibrate comparison). Calibration grids run at tiny
+	// scales where generator size floors distort the normalised rows, so
+	// the comparison defaults to cmd/calibrate's 0.25 instead.
+	if genScale <= 0 {
+		genScale = 0.25
+	}
+	seed := int64(1)
+	if len(model.Seeds) > 0 {
+		seed = model.Seeds[0]
+	}
+	benches := map[string]bool{}
+	for _, key := range model.CellKeys() {
+		benches[strings.SplitN(key, "/", 2)[0]] = true
+	}
+	fmt.Fprintf(stdout, "\ngenerator vs paper targets (scale %g, seed %d)\n", genScale, seed)
+	for _, b := range suite.All() {
+		if !benches[b.Program.Name()] {
+			continue
+		}
+		set, err := b.Program.Generate(workload.Params{Scale: genScale, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Program.Name(), err)
+		}
+		s := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+		fmt.Fprintf(stdout, "%s\n", s.Name)
+		fmt.Fprint(stdout, tables.FormatTargets(tables.TargetRows(s, b.Paper, genScale)))
+	}
+	return nil
+}
+
+func runQuery(path, cellKey string, scale float64, stdout io.Writer) error {
+	model, err := predict.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	bench, mname, ok := strings.Cut(cellKey, "/")
+	if !ok {
+		return fmt.Errorf("bad -cell %q, want Bench/model (e.g. Grav/queue)", cellKey)
+	}
+	if scale <= 0 {
+		return fmt.Errorf("a -cell query needs -scale > 0")
+	}
+	p, err := model.Predict(bench, mname, scale)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// printCells renders the fitted parameter summary, one line per cell.
+func printCells(m *predict.Model, w io.Writer) {
+	fmt.Fprintf(w, "%-16s %4s %9s %9s %9s %8s %8s\n",
+		"cell", "ncpu", "straggler", "maxErr", "meanErr", "bound", "κ_queue")
+	for _, key := range m.CellKeys() {
+		c := m.Cells[key]
+		fmt.Fprintf(w, "%-16s %4d %9.3f %8.1f%% %8.1f%% %7.1f%% %8.3f\n",
+			key, c.NCPU, c.Straggler, 100*c.MaxErr, 100*c.MeanErr, 100*c.ErrBound, c.KappaQueue)
+	}
+}
+
+func parseList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range parseList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range parseList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

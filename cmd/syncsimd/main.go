@@ -7,14 +7,18 @@
 //	syncsimd [-addr :8080] [-workers N] [-queue 64] [-timeout 2m]
 //	         [-result-cache 256] [-trace-cache 64] [-drain 30s]
 //	         [-stall-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
-//	         [-chaos spec]
+//	         [-chaos spec] [-predict-model model.json]
 //
 // Endpoints:
 //
-//	POST /v1/sim     one benchmark × machine configuration
-//	POST /v1/sweep   the benchmark × model matrix (Tables 1-8 inputs)
-//	GET  /healthz    liveness; 503 once draining
-//	GET  /metrics    service counters and gauges (add ?format=text)
+//	POST /v1/sim          one benchmark × machine configuration
+//	POST /v1/sweep        the benchmark × model matrix (Tables 1-8 inputs)
+//	POST /v1/predict      analytic performance prediction (needs
+//	                      -predict-model for the fast path; falls back to
+//	                      cycle-exact simulation)
+//	GET  /v1/capabilities the service's accepted vocabulary
+//	GET  /healthz         liveness; 503 once draining
+//	GET  /metrics         service counters and gauges (add ?format=text)
 //	GET  /debug/pprof/...
 //
 // Identical in-flight requests coalesce onto one execution; completed
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"syncsim/internal/chaos"
+	"syncsim/internal/predict"
 	"syncsim/internal/server"
 )
 
@@ -60,6 +65,7 @@ func run(args []string, stderr io.Writer) error {
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout: hard cap on writing one response (0 = none)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: close keep-alive connections idle this long (0 = none)")
 	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "seed=1,panic=0.05,cancel=0.05,slow=0.1,queue=0.05,delay=5ms" or "all=0.05" (empty = off; NEVER enable in production)`)
+	predictModel := fs.String("predict-model", "", "fitted analytic model JSON (cmd/predict -calibrate output) enabling /v1/predict's fast path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +76,14 @@ func run(args []string, stderr io.Writer) error {
 	if plane != nil {
 		fmt.Fprintf(stderr, "syncsimd: CHAOS PLANE ARMED (%s)\n", plane)
 	}
+	var model *predict.Model
+	if *predictModel != "" {
+		if model, err = predict.LoadFile(*predictModel); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "syncsimd: prediction model loaded: %d cells, scales %v, max error bound %.1f%%\n",
+			len(model.Cells), model.Scales, 100*model.MaxErrBound())
+	}
 
 	srv := server.New(server.Config{
 		Workers:         *workers,
@@ -79,6 +93,7 @@ func run(args []string, stderr io.Writer) error {
 		TraceCacheCap:   *traceCache,
 		StallTimeout:    *stall,
 		Chaos:           plane,
+		Predict:         model,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,46 @@
+package api
+
+import "net/http"
+
+// The error envelope. Every non-2xx answer from the service is a plain
+// text body (the public message — never a stack trace or internals) plus
+// up to two headers:
+//
+//   - Retry-After: delay-seconds hint on load-shedding statuses (429, 503),
+//     adaptive to queue pressure with jitter;
+//   - X-Incident-Id: an opaque ID minted for 500s that came from recovered
+//     panics, correlating the response with the stack in the server log.
+//
+// The status taxonomy (pinned server-side by TestClassifyTaxonomy):
+//
+//	400  invalid request, unknown benchmark, bad machine config
+//	413  request body over the size cap
+//	422  invariant violation (simulation unsound) or, on /v1/predict in
+//	     analytic mode, no fitted cell for the requested bench × model
+//	429  admission queue full — load shed, Retry-After attached
+//	500  internal error; panics carry X-Incident-Id
+//	503  job cancelled (server draining or clients gone), Retry-After
+//	504  job timed out or was aborted by the liveness watchdog
+const (
+	// HeaderIncidentID carries the opaque incident ID of a recovered
+	// panic.
+	HeaderIncidentID = "X-Incident-Id"
+	// HeaderRetryAfter carries the adaptive delay-seconds backoff hint.
+	HeaderRetryAfter = "Retry-After"
+)
+
+// RetryableStatus reports whether another attempt at a request that failed
+// with this status can succeed: load shedding (429), gateway trouble
+// (502), drain/cancel (503) and job timeout (504) are transient;
+// everything else — bad requests, invariant violations, panics
+// (deterministic for a given job) — is terminal.
+func RetryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}

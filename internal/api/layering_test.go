@@ -1,0 +1,84 @@
+package api
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLayering pins the wire-contract dependency rule: api ← client and
+// api ← server, never client ← server. The contract package itself must
+// stay free of any execution machinery (server, engine, core, client) so
+// that importing it never drags in the simulator; and the client must
+// speak to the service purely through the contract, so the two sides can
+// evolve independently. Test files are exempt — booting a real server in
+// a test is how the client proves itself.
+func TestLayering(t *testing.T) {
+	forbidden := map[string][]string{
+		".": {
+			"syncsim/internal/server",
+			"syncsim/internal/engine",
+			"syncsim/internal/core",
+			"syncsim/internal/client",
+			"syncsim/internal/predict",
+		},
+		"../client": {
+			"syncsim/internal/server",
+			"syncsim/internal/engine",
+			"syncsim/internal/core",
+		},
+	}
+	for dir, banned := range forbidden {
+		for _, imp := range imports(t, dir) {
+			for _, bad := range banned {
+				if imp.path == bad {
+					t.Errorf("%s imports %s — the layering rule is api ← client, api ← server, never client ← server",
+						imp.file, bad)
+				}
+			}
+		}
+	}
+}
+
+type fileImport struct {
+	file string
+	path string
+}
+
+// imports parses the non-test Go files of dir (import clauses only) and
+// returns every (file, import path) pair.
+func imports(t *testing.T, dir string) []fileImport {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []fileImport
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: bad import literal %s", path, imp.Path.Value)
+			}
+			out = append(out, fileImport{file: path, path: p})
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no imports found under %s — wrong directory?", dir)
+	}
+	return out
+}

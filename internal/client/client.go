@@ -19,7 +19,7 @@ import (
 	"strings"
 	"time"
 
-	"syncsim/internal/server"
+	"syncsim/internal/api"
 )
 
 // APIError is a non-2xx answer from the service, carrying the taxonomy's
@@ -46,16 +46,11 @@ func (e *APIError) Error() string {
 // Retryable reports whether another attempt can succeed: load shedding
 // (429), gateway trouble (502), drain/cancel (503), and job timeout (504)
 // are transient; everything else — bad requests, invariant violations,
-// panics (deterministic for a given job) — is terminal.
+// panics (deterministic for a given job) — is terminal. The classification
+// is the wire contract's (api.RetryableStatus), shared with the server's
+// taxonomy.
 func (e *APIError) Retryable() bool {
-	switch e.Status {
-	case http.StatusTooManyRequests,
-		http.StatusBadGateway,
-		http.StatusServiceUnavailable,
-		http.StatusGatewayTimeout:
-		return true
-	}
-	return false
+	return api.RetryableStatus(e.Status)
 }
 
 // ErrBudgetExhausted wraps the last failure when the caller's context
@@ -111,8 +106,8 @@ func New(baseURL string, cfg Config) *Client {
 
 // Sim runs one simulation job (POST /v1/sim), retrying transient
 // failures.
-func (c *Client) Sim(ctx context.Context, req server.SimRequest) (*server.SimResponse, error) {
-	var out server.SimResponse
+func (c *Client) Sim(ctx context.Context, req api.SimRequest) (*api.SimResponse, error) {
+	var out api.SimResponse
 	if err := c.post(ctx, "/v1/sim", req, &out); err != nil {
 		return nil, err
 	}
@@ -120,9 +115,33 @@ func (c *Client) Sim(ctx context.Context, req server.SimRequest) (*server.SimRes
 }
 
 // Sweep runs one sweep job (POST /v1/sweep), retrying transient failures.
-func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error) {
-	var out server.SweepResponse
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepResponse, error) {
+	var out api.SweepResponse
 	if err := c.post(ctx, "/v1/sweep", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Predict asks for a performance prediction (POST /v1/predict) under the
+// same retry budget as the job endpoints: analytic answers come back in
+// microseconds, fallback simulations behave exactly like Sim.
+func (c *Client) Predict(ctx context.Context, req api.PredictRequest) (*api.PredictResponse, error) {
+	var out api.PredictResponse
+	if err := c.post(ctx, "/v1/predict", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Capabilities fetches the service's vocabulary (GET /v1/capabilities):
+// benchmarks, models, locks, consistency models, schedulers, and the
+// loaded prediction model's envelope. Same retry budget as the job
+// endpoints — the call is cheap but a restarting server still benefits
+// from backoff.
+func (c *Client) Capabilities(ctx context.Context) (*api.CapabilitiesResponse, error) {
+	var out api.CapabilitiesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/capabilities", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -144,12 +163,17 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// post is the retry loop shared by the job endpoints.
+// post JSON-encodes in and runs the retry loop against a POST endpoint.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encode request: %w", err)
 	}
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// do is the retry loop shared by every endpoint; body is nil for GETs.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	var last error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -157,7 +181,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 				return err
 			}
 		}
-		apiErr, err := c.once(ctx, path, body, out)
+		apiErr, err := c.once(ctx, method, path, body, out)
 		if err == nil && apiErr == nil {
 			return nil
 		}
@@ -181,12 +205,18 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 // once performs one attempt. A nil, nil return means success; a non-nil
 // *APIError is a classified server answer; a bare error is a transport
 // failure.
-func (c *Client) once(ctx context.Context, path string, body []byte, out any) (*APIError, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*APIError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -200,8 +230,8 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) (*
 		return &APIError{
 			Status:     resp.StatusCode,
 			Message:    strings.TrimSpace(string(raw)),
-			IncidentID: resp.Header.Get("X-Incident-Id"),
-			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			IncidentID: resp.Header.Get(api.HeaderIncidentID),
+			RetryAfter: parseRetryAfter(resp.Header.Get(api.HeaderRetryAfter)),
 		}, nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {

@@ -6,11 +6,12 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
-	"syncsim/internal/server"
+	"syncsim/internal/api"
 )
 
 // fakeService scripts a sequence of responses: each request pops the next
@@ -41,7 +42,7 @@ func (f *fakeService) handler() http.Handler {
 			http.Error(w, http.StatusText(st.status), st.status)
 			return
 		}
-		json.NewEncoder(w).Encode(server.SimResponse{Served: "run"}) //nolint:errcheck
+		json.NewEncoder(w).Encode(api.SimResponse{Served: "run"}) //nolint:errcheck
 	})
 }
 
@@ -67,7 +68,7 @@ func TestRetryUntilSuccess(t *testing.T) {
 	defer ts.Close()
 
 	c := New(ts.URL, fastCfg())
-	out, err := c.Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	out, err := c.Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTerminalNoRetry(t *testing.T) {
 	ts := httptest.NewServer(f.handler())
 	defer ts.Close()
 
-	_, err := New(ts.URL, fastCfg()).Sim(context.Background(), server.SimRequest{})
+	_, err := New(ts.URL, fastCfg()).Sim(context.Background(), api.SimRequest{})
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Status != 400 {
 		t.Fatalf("err = %v, want *APIError{400}", err)
@@ -107,7 +108,7 @@ func TestPanicIncidentTerminal(t *testing.T) {
 	ts := httptest.NewServer(f.handler())
 	defer ts.Close()
 
-	_, err := New(ts.URL, fastCfg()).Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	_, err := New(ts.URL, fastCfg()).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
 	var ae *APIError
 	if !errors.As(err, &ae) {
 		t.Fatalf("err = %v, want *APIError", err)
@@ -129,7 +130,7 @@ func TestAttemptsExhausted(t *testing.T) {
 
 	cfg := fastCfg()
 	cfg.MaxAttempts = 3
-	_, err := New(ts.URL, cfg).Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	_, err := New(ts.URL, cfg).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Status != 429 {
 		t.Fatalf("err = %v, want wrapped *APIError{429}", err)
@@ -150,7 +151,7 @@ func TestBudgetExhausted(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := New(ts.URL, fastCfg()).Sim(ctx, server.SimRequest{Bench: "Qsort"})
+	_, err := New(ts.URL, fastCfg()).Sim(ctx, api.SimRequest{Bench: "Qsort"})
 	if !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
 	}
@@ -214,7 +215,7 @@ func TestTransportErrorRetries(t *testing.T) {
 
 	cfg := fastCfg()
 	cfg.MaxAttempts = 2
-	_, err := New(ts.URL, cfg).Sim(context.Background(), server.SimRequest{Bench: "Qsort"})
+	_, err := New(ts.URL, cfg).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
 	if err == nil {
 		t.Fatal("expected an error from an unreachable server")
 	}
@@ -241,5 +242,75 @@ func TestHealthy(t *testing.T) {
 	}
 	if New(bad.URL, Config{}).Healthy(context.Background()) {
 		t.Error("draining server reported healthy")
+	}
+}
+
+// TestErrorTaxonomyDecoding drives the client through every status the
+// wire contract's taxonomy can mint (see internal/api/errors.go) and
+// asserts the *APIError decoding: status, trimmed message body,
+// Retry-After and X-Incident-Id propagation, and the retryability
+// classification — which must agree with api.RetryableStatus, the
+// contract both sides share.
+func TestErrorTaxonomyDecoding(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		body       string
+		retryAfter string
+		incident   string
+		retryable  bool
+	}{
+		{"bad request", 400, "bad request: unknown bench", "", "", false},
+		{"body too large", 413, "request body too large", "", "", false},
+		{"invariant", 422, "simulation invariant violated", "", "", false},
+		{"no model cell", 422, "no fitted prediction model for this cell: Qsort/queue", "", "", false},
+		{"queue full", 429, "queue full", "1", "", true},
+		{"panic incident", 500, "internal error", "", "deadbeef0123", false},
+		{"draining", 503, "server draining", "2", "", true},
+		{"wedged", 504, "job wedged", "", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.retryAfter != "" {
+					w.Header().Set(api.HeaderRetryAfter, tc.retryAfter)
+				}
+				if tc.incident != "" {
+					w.Header().Set(api.HeaderIncidentID, tc.incident)
+				}
+				http.Error(w, tc.body, tc.status)
+			}))
+			defer ts.Close()
+
+			cfg := fastCfg()
+			cfg.MaxAttempts = 1 // decode check, not retry check
+			_, err := New(ts.URL, cfg).Predict(context.Background(), api.PredictRequest{Bench: "Qsort"})
+			var ae *APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("err = %v, want *APIError", err)
+			}
+			if ae.Status != tc.status {
+				t.Errorf("status = %d, want %d", ae.Status, tc.status)
+			}
+			if ae.Message != tc.body {
+				t.Errorf("message = %q, want %q", ae.Message, tc.body)
+			}
+			if ae.IncidentID != tc.incident {
+				t.Errorf("incident = %q, want %q", ae.IncidentID, tc.incident)
+			}
+			want := parseRetryAfter(tc.retryAfter)
+			if ae.RetryAfter != want {
+				t.Errorf("retryAfter = %v, want %v", ae.RetryAfter, want)
+			}
+			if ae.Retryable() != tc.retryable {
+				t.Errorf("Retryable() = %v, want %v", ae.Retryable(), tc.retryable)
+			}
+			if ae.Retryable() != api.RetryableStatus(tc.status) {
+				t.Errorf("client and contract disagree on status %d", tc.status)
+			}
+			if tc.incident != "" && !strings.Contains(ae.Error(), tc.incident) {
+				t.Errorf("Error() = %q does not surface the incident ID", ae.Error())
+			}
+		})
 	}
 }

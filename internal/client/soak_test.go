@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"syncsim/internal/api"
 	"syncsim/internal/chaos"
 	"syncsim/internal/engine"
 	"syncsim/internal/server"
@@ -73,14 +74,27 @@ func TestChaosSoak(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	c0 := New(ts.URL, Config{MaxAttempts: 2})
+
+	// Request generation is driven by the service's own advertised
+	// vocabulary (GET /v1/capabilities), not a hard-coded name list: the
+	// soak stays honest if benchmarks or lock algorithms are renamed.
+	caps, err := c0.Capabilities(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps.Benchmarks) < 2 || len(caps.Locks) < 3 || len(caps.Consistency) < 2 {
+		t.Fatalf("capabilities too small to drive the soak: %+v", caps)
+	}
+
 	// The request shapes and, per shape, the expected payload from an
 	// unfaulted direct engine run (the service contract: serving layer and
 	// chaos plane change nothing about surviving results).
-	shapes := []server.SimRequest{
-		{Bench: "Grav", Scale: 0.01, Seed: 1},
-		{Bench: "Grav", Scale: 0.01, Seed: 2, Lock: "tts"},
-		{Bench: "Pdsa", Scale: 0.01, Seed: 3, Cons: "wo"},
-		{Bench: "Grav", Scale: 0.01, Seed: 4, Lock: "queue-exact"},
+	shapes := []api.SimRequest{
+		{Bench: caps.Benchmarks[0].Name, Scale: 0.01, Seed: 1},
+		{Bench: caps.Benchmarks[0].Name, Scale: 0.01, Seed: 2, Lock: caps.Locks[1]},
+		{Bench: caps.Benchmarks[1].Name, Scale: 0.01, Seed: 3, Cons: caps.Consistency[1]},
+		{Bench: caps.Benchmarks[0].Name, Scale: 0.01, Seed: 4, Lock: caps.Locks[2]},
 	}
 	want := make([]string, len(shapes))
 	for i, sh := range shapes {
@@ -195,7 +209,7 @@ func checkSoakError(t *testing.T, err error, incidents *int) {
 
 // directRun executes one request shape straight on a fresh engine (no
 // server, no chaos) and returns the marshalled Result.
-func directRun(t *testing.T, req server.SimRequest) string {
+func directRun(t *testing.T, req api.SimRequest) string {
 	t.Helper()
 	task, err := server.TaskForRequest(req)
 	if err != nil {

@@ -1,0 +1,40 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LoadFile reads and validates a fitted model from the JSON file
+// cmd/predict writes (syncsimd -predict-model points here).
+func LoadFile(path string) (*Model, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("predict: load model: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("predict: decode model %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("predict: model %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model as indented JSON, the wire format LoadFile
+// reads back.
+func SaveFile(path string, m *Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("predict: encode model: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("predict: write model: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package predict is the analytic performance-prediction layer: a
+// queueing-style closed-form model of each benchmark × machine-model cell,
+// calibrated against the cycle-exact simulator, that answers
+// time-to-solution / bus-utilisation / lock-wait queries in microseconds.
+//
+// The model follows the structure of Aksenov, Alistarh & Kuznetsov's
+// coarse-grained-locking predictor: a run's time is its ideal CPU work
+// plus a bus (memory) service term plus a lock term built from transfer
+// counts, hold times and waiters-at-transfer — all the quantities the
+// paper's Tables 2/4/6/8 report and trace.AnalyzeIdeal / machine.Result
+// measure. Per cell, the components are:
+//
+//	work(s)      ideal per-CPU cycles, linear in scale s
+//	miss(s)      per-CPU cycles stalled on cache misses (bus service
+//	             demand seen from the processor), linear in s
+//	lock(s)      per-CPU lock wait: transfers(s)/N recipients each wait
+//	             through the queue ahead of them — Q̄ predecessors holding
+//	             for H̄ₓ cycles and handing off in L̄ cycles — plus an
+//	             uncontended per-scale acquisition cost
+//	other(s)     barrier + weak-ordering drain stalls, linear in s
+//
+// and the predicted run time is α·(work+miss+lock+other), where α ≥ 1 is
+// the fitted straggler factor lifting the per-CPU mean finish time to the
+// slowest processor. The small parameter vector of every cell is fitted by
+// least squares against full simulations across a (scale × seed) grid, and
+// the largest relative error the fit leaves on the grid becomes the cell's
+// published error bound (with margin for seed variance) — callers of the
+// service's /v1/predict fast path decide from that bound whether to trust
+// the analytic answer or fall back to the simulator.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"syncsim/internal/api"
+)
+
+// CellKey names one fitted benchmark × machine-model cell, e.g.
+// "Grav/queue".
+func CellKey(bench, model string) string { return bench + "/" + model }
+
+// LinFit is a least-squares line y ≈ A + B·s over the calibration grid.
+type LinFit struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+}
+
+// At evaluates the fit at scale s, clamped at zero (a component cost can
+// never be negative).
+func (f LinFit) At(s float64) float64 {
+	v := f.A + f.B*s
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Cell is the fitted parameter vector of one benchmark × model cell.
+type Cell struct {
+	Bench string `json:"bench"`
+	Model string `json:"model"`
+	NCPU  int    `json:"ncpu"`
+
+	// Component fits, all per-CPU means in cycles (Transfers in counts).
+	Work       LinFit `json:"work"`
+	MissStall  LinFit `json:"miss_stall"`
+	OtherStall LinFit `json:"other_stall"`
+	BusBusy    LinFit `json:"bus_busy"` // whole-machine bus busy cycles
+	Transfers  LinFit `json:"transfers"`
+
+	// Lock queueing parameters: grid means of the contention quantities.
+	AvgWaiters      float64 `json:"avg_waiters"`      // Q̄, waiters at transfer
+	TransferHold    float64 `json:"transfer_hold"`    // H̄ₓ, cycles
+	TransferLatency float64 `json:"transfer_latency"` // L̄, free→acquire cycles
+
+	// KappaQueue scales the queueing term; KappaScale absorbs the
+	// uncontended per-scale lock cost. Both fitted by least squares.
+	KappaQueue float64 `json:"kappa_queue"`
+	KappaScale float64 `json:"kappa_scale"`
+
+	// Straggler is α, the least-squares factor mapping the model's mean
+	// per-CPU finish time onto the run time of the slowest processor.
+	Straggler float64 `json:"straggler"`
+
+	// Calibration self-error on predicted TTS over the grid, and the
+	// published bound (MaxErr with margin; see errBound).
+	MaxErr   float64 `json:"max_err"`
+	MeanErr  float64 `json:"mean_err"`
+	ErrBound float64 `json:"err_bound"`
+}
+
+// lockWait returns the predicted per-CPU lock-wait cycles at scale s: each
+// of the transfers(s)/N hand-offs received per processor waited behind Q̄
+// predecessors (each holding H̄ₓ and handing off in L̄) plus its own
+// hand-off latency, scaled by the fitted κ_q; κ_s·s absorbs the
+// uncontended acquisition cost.
+func (c *Cell) lockWait(s float64) float64 {
+	v := c.KappaQueue*c.queueTerm(s) + c.KappaScale*s
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// queueTerm is the raw queueing-delay regressor before κ_q scaling.
+func (c *Cell) queueTerm(s float64) float64 {
+	n := float64(c.NCPU)
+	if n == 0 {
+		return 0
+	}
+	perCPU := c.Transfers.At(s) / n
+	return perCPU * (c.TransferLatency + c.AvgWaiters*(c.TransferHold+c.TransferLatency))
+}
+
+// Predict evaluates the cell at scale s.
+func (c *Cell) Predict(s float64) api.Prediction {
+	work := c.Work.At(s)
+	lock := c.lockWait(s)
+	finish := work + c.MissStall.At(s) + lock + c.OtherStall.At(s)
+	tts := c.Straggler * finish
+
+	var busUtil float64
+	if tts > 0 {
+		busUtil = c.BusBusy.At(s) / tts
+		if busUtil > 1 {
+			busUtil = 1
+		}
+	}
+	var util float64
+	if finish > 0 {
+		util = work / finish
+		if util > 1 {
+			util = 1
+		}
+	}
+	return api.Prediction{
+		TTS:            tts,
+		BusUtilization: busUtil,
+		LockWaitCycles: lock,
+		Utilization:    util,
+		ErrBound:       c.ErrBound,
+		CellMaxErr:     c.MaxErr,
+		CellMeanErr:    c.MeanErr,
+	}
+}
+
+// Model is a fitted set of cells plus the grid envelope it was calibrated
+// on. It marshals to JSON (cmd/predict writes it; syncsimd -predict-model
+// loads it).
+type Model struct {
+	// Version guards the JSON schema; bump on incompatible change.
+	Version int `json:"version"`
+	// Scales and Seeds record the calibration grid.
+	Scales []float64 `json:"scales"`
+	Seeds  []int64   `json:"seeds"`
+	// Cells is keyed by CellKey (bench "/" model).
+	Cells map[string]*Cell `json:"cells"`
+}
+
+// ModelVersion is the current Model JSON schema version.
+const ModelVersion = 1
+
+// Cell returns the fitted cell for a benchmark × model, if any.
+func (m *Model) Cell(bench, model string) (*Cell, bool) {
+	if m == nil {
+		return nil, false
+	}
+	c, ok := m.Cells[CellKey(bench, model)]
+	return c, ok
+}
+
+// MinScale and MaxScale bound the calibrated scale envelope.
+func (m *Model) MinScale() float64 { return m.scaleBound(false) }
+func (m *Model) MaxScale() float64 { return m.scaleBound(true) }
+
+func (m *Model) scaleBound(max bool) float64 {
+	if m == nil || len(m.Scales) == 0 {
+		return 0
+	}
+	v := m.Scales[0]
+	for _, s := range m.Scales[1:] {
+		if (max && s > v) || (!max && s < v) {
+			v = s
+		}
+	}
+	return v
+}
+
+// InEnvelope reports whether a scale is close enough to the calibrated
+// grid for the error bound to be backed by data: within [min/2, max·2].
+func (m *Model) InEnvelope(scale float64) bool {
+	if m == nil || len(m.Scales) == 0 {
+		return false
+	}
+	return scale >= m.MinScale()/2 && scale <= m.MaxScale()*2
+}
+
+// MaxErrBound returns the largest published error bound over all cells.
+func (m *Model) MaxErrBound() float64 {
+	var v float64
+	if m == nil {
+		return 0
+	}
+	for _, c := range m.Cells {
+		if c.ErrBound > v {
+			v = c.ErrBound
+		}
+	}
+	return v
+}
+
+// Predict evaluates the fitted cell for (bench, model) at the given scale.
+// The returned Prediction carries the cell's calibrated error bound and
+// whether the scale lies outside the calibrated envelope.
+func (m *Model) Predict(bench, model string, scale float64) (api.Prediction, error) {
+	c, ok := m.Cell(bench, model)
+	if !ok {
+		return api.Prediction{}, fmt.Errorf("predict: no fitted cell %q", CellKey(bench, model))
+	}
+	p := c.Predict(scale)
+	p.Extrapolated = !m.InEnvelope(scale)
+	return p, nil
+}
+
+// CellKeys lists the fitted cell keys, sorted.
+func (m *Model) CellKeys() []string {
+	if m == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(m.Cells))
+	for k := range m.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Validate checks a decoded model for structural sanity.
+func (m *Model) Validate() error {
+	if m == nil {
+		return fmt.Errorf("predict: nil model")
+	}
+	if m.Version != ModelVersion {
+		return fmt.Errorf("predict: model version %d, want %d", m.Version, ModelVersion)
+	}
+	if len(m.Cells) == 0 {
+		return fmt.Errorf("predict: model has no fitted cells")
+	}
+	if len(m.Scales) == 0 {
+		return fmt.Errorf("predict: model records no calibration scales")
+	}
+	for k, c := range m.Cells {
+		if c == nil {
+			return fmt.Errorf("predict: cell %q is null", k)
+		}
+		if k != CellKey(c.Bench, c.Model) {
+			return fmt.Errorf("predict: cell key %q does not match bench/model %q", k, CellKey(c.Bench, c.Model))
+		}
+		if c.NCPU <= 0 {
+			return fmt.Errorf("predict: cell %q has ncpu %d", k, c.NCPU)
+		}
+		for _, v := range []float64{c.Straggler, c.ErrBound, c.MaxErr, c.MeanErr} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("predict: cell %q has a non-finite parameter", k)
+			}
+		}
+		if c.Straggler <= 0 {
+			return fmt.Errorf("predict: cell %q straggler factor %v ≤ 0", k, c.Straggler)
+		}
+	}
+	return nil
+}

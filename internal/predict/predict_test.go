@@ -1,0 +1,147 @@
+package predict
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// calScales/calSeeds are the calibration grid of the differential test;
+// heldOutSeed is deliberately not in the grid, so the assertion below
+// exercises the published bound on unseen data, not on the training set.
+var (
+	calScales   = []float64{0.01, 0.02}
+	calSeeds    = []int64{1, 2}
+	heldOutSeed = int64(3)
+)
+
+// TestDifferentialPrediction is the acceptance gate of the analytic layer:
+// calibrate on the grid, then for EVERY benchmark × model cell diff the
+// analytic prediction against a full cycle-exact simulation at a held-out
+// seed and demand the relative error stays within the bound the
+// calibration itself published. A cell whose bound does not hold is a
+// model (or calibration) bug, not noise — the workloads are deterministic
+// per seed and the bound already carries seed-variance margin.
+func TestDifferentialPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full simulation grid")
+	}
+	ctx := context.Background()
+	model, points, err := CalibrateGrid(ctx, CalibrateOptions{Scales: calScales, Seeds: calSeeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(model.Cells), 18; got != want {
+		t.Fatalf("fitted %d cells, want %d (6 benchmarks × 3 models)", got, want)
+	}
+	if len(points) == 0 {
+		t.Fatal("no grid points returned")
+	}
+
+	heldOut, err := RunGrid(ctx, calScales, []int64{heldOutSeed}, CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range heldOut {
+		pred, err := model.Predict(p.Bench, p.Model, p.Scale)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", p.Bench, p.Model, err)
+		}
+		if pred.Extrapolated {
+			t.Errorf("%s/%s scale %g: flagged extrapolated inside the calibrated envelope", p.Bench, p.Model, p.Scale)
+		}
+		sim := float64(p.Result.RunTime)
+		relErr := math.Abs(pred.TTS-sim) / sim
+		t.Logf("%-8s %-5s scale=%g  sim=%.0f pred=%.0f relErr=%.3f bound=%.3f busUtil=%.3f (sim %.3f)",
+			p.Bench, p.Model, p.Scale, sim, pred.TTS, relErr, pred.ErrBound,
+			pred.BusUtilization, p.Result.BusUtilization())
+		if relErr > pred.ErrBound {
+			t.Errorf("%s/%s scale %g seed %d: |pred−sim|/sim = %.3f exceeds calibrated bound %.3f",
+				p.Bench, p.Model, p.Scale, heldOutSeed, relErr, pred.ErrBound)
+		}
+	}
+}
+
+// TestModelJSONRoundTrip: the fitted model survives the wire format the
+// cmd/predict CLI writes and syncsimd -predict-model loads.
+func TestModelJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulation grid")
+	}
+	model, _, err := CalibrateGrid(context.Background(), CalibrateOptions{
+		Scales: []float64{0.01},
+		Seeds:  []int64{1},
+		Only:   []string{"Qsort"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped model invalid: %v", err)
+	}
+	p1, err1 := model.Predict("Qsort", "queue", 0.015)
+	p2, err2 := back.Predict("Qsort", "queue", 0.015)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if p1 != p2 {
+		t.Errorf("prediction changed across JSON round trip: %+v vs %+v", p1, p2)
+	}
+}
+
+// TestFitLin pins the least-squares line fit, including the single-scale
+// degenerate case (through the origin).
+func TestFitLin(t *testing.T) {
+	f := fitLin([]float64{1, 2, 3}, []float64{3, 5, 7}) // y = 1 + 2s
+	if math.Abs(f.A-1) > 1e-9 || math.Abs(f.B-2) > 1e-9 {
+		t.Errorf("fitLin = %+v, want A=1 B=2", f)
+	}
+	f = fitLin([]float64{2, 2}, []float64{10, 14}) // one scale → origin line
+	if f.A != 0 || math.Abs(f.B-6) > 1e-9 {
+		t.Errorf("single-scale fit = %+v, want A=0 B=6", f)
+	}
+	if got := (LinFit{A: 5, B: -10}).At(1); got != 0 {
+		t.Errorf("negative evaluation not clamped: %v", got)
+	}
+}
+
+// TestFitTwo pins the two-regressor least squares and its degenerate
+// single-regressor fallback.
+func TestFitTwo(t *testing.T) {
+	// y = 2·x1 + 3·x2 exactly.
+	x1 := []float64{1, 2, 0, 4}
+	x2 := []float64{0, 1, 3, 2}
+	y := make([]float64, len(x1))
+	for i := range y {
+		y[i] = 2*x1[i] + 3*x2[i]
+	}
+	k1, k2 := fitTwo(x1, x2, y)
+	if math.Abs(k1-2) > 1e-9 || math.Abs(k2-3) > 1e-9 {
+		t.Errorf("fitTwo = %v, %v; want 2, 3", k1, k2)
+	}
+	// x1 ≡ 0: collapses to the second regressor.
+	k1, k2 = fitTwo([]float64{0, 0}, []float64{1, 2}, []float64{4, 8})
+	if k1 != 0 || math.Abs(k2-4) > 1e-9 {
+		t.Errorf("degenerate fitTwo = %v, %v; want 0, 4", k1, k2)
+	}
+}
+
+// TestErrBound pins the published-bound formula: margin over the observed
+// maximum, floored at 5%.
+func TestErrBound(t *testing.T) {
+	if got := errBound(0); got != 0.05 {
+		t.Errorf("errBound(0) = %v, want 0.05 floor", got)
+	}
+	if got := errBound(0.10); math.Abs(got-0.22) > 1e-9 {
+		t.Errorf("errBound(0.10) = %v, want 0.22", got)
+	}
+}

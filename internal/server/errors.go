@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"syncsim/internal/api"
 	"syncsim/internal/engine"
 	"syncsim/internal/machine"
 	"syncsim/internal/workload/suite"
@@ -22,6 +23,9 @@ var (
 	// errWedged is the watchdog's verdict: the job's scheduler heartbeat
 	// stalled and the job was aborted via its context → 504.
 	errWedged = errors.New("job wedged: scheduler heartbeat stalled")
+	// errNoModel: /v1/predict in analytic mode asked for a cell the loaded
+	// model has not fitted (or no model is loaded at all) → 422.
+	errNoModel = errors.New("no fitted prediction model for this cell")
 )
 
 // httpError is the resolved HTTP rendering of a job failure.
@@ -43,6 +47,7 @@ type httpError struct {
 //	unknown benchmark            → 400
 //	invalid request or config    → 400
 //	invariant violation          → 422 (the simulation itself is unsound)
+//	no fitted predict cell       → 422 (analytic mode without a model)
 //	watchdog abort (wedged job)  → 504
 //	job timeout                  → 504
 //	cancellation (drain, storm)  → 503 + Retry-After
@@ -64,7 +69,7 @@ func classify(err error) httpError {
 		return httpError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
 	case errors.Is(err, suite.ErrUnknownBenchmark), errors.Is(err, errBadRequest):
 		return httpError{status: http.StatusBadRequest, msg: err.Error()}
-	case errors.Is(err, machine.ErrInvariant):
+	case errors.Is(err, machine.ErrInvariant), errors.Is(err, errNoModel):
 		return httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	case errors.Is(err, errWedged):
 		return httpError{status: http.StatusGatewayTimeout, msg: err.Error()}
@@ -105,10 +110,10 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 		s.rejected.Inc()
 	}
 	if he.retryAfter {
-		w.Header().Set("Retry-After", s.retryAfterHint())
+		w.Header().Set(api.HeaderRetryAfter, s.retryAfterHint())
 	}
 	if he.incident != "" {
-		w.Header().Set("X-Incident-Id", he.incident)
+		w.Header().Set(api.HeaderIncidentID, he.incident)
 	}
 	http.Error(w, he.msg, he.status)
 }

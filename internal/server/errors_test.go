@@ -35,6 +35,7 @@ func TestClassifyTaxonomy(t *testing.T) {
 		{"bad request", fmt.Errorf("%w: negative scale", errBadRequest), http.StatusBadRequest, false, false},
 		{"invalid machine config", fmt.Errorf("%w: %v", errBadRequest, errors.New("machine: unknown lock algorithm")), http.StatusBadRequest, false, false},
 		{"invariant violation", fmt.Errorf("cycle 40: %w", machine.ErrInvariant), http.StatusUnprocessableEntity, false, false},
+		{"no predict cell", fmt.Errorf("%w: Grav/queue", errNoModel), http.StatusUnprocessableEntity, false, false},
 		{"wedged", fmt.Errorf("%w (no heartbeat)", errWedged), http.StatusGatewayTimeout, false, false},
 		{"timeout", fmt.Errorf("machine: cancelled: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, false, false},
 		{"cancelled", fmt.Errorf("machine: cancelled: %w", context.Canceled), http.StatusServiceUnavailable, true, false},

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"syncsim/internal/api"
 	"syncsim/internal/core"
 	"syncsim/internal/engine"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
-	"syncsim/internal/metrics"
-	"syncsim/internal/trace"
 	"syncsim/internal/workload"
 	"syncsim/internal/workload/suite"
 )
@@ -19,26 +18,20 @@ import (
 // Clients reproducing paper magnitudes ask for them explicitly.
 const defaultScale = 0.2
 
-// SimRequest is the body of POST /v1/sim: one benchmark under one machine
-// configuration. Zero values select the same defaults as the syncsim CLI.
-type SimRequest struct {
-	// Bench is the benchmark name (Grav, Pdsa, FullConn, Pverify, Qsort,
-	// Topopt). Required.
-	Bench string `json:"bench"`
-	// Scale is the workload scale; 0 selects 0.2 (1.0 = paper magnitudes).
-	Scale float64 `json:"scale,omitempty"`
-	// NCPU is the processor count; 0 selects the benchmark default.
-	NCPU int `json:"ncpu,omitempty"`
-	// Seed drives generation randomness.
-	Seed int64 `json:"seed,omitempty"`
-	// Lock is the lock algorithm: queue (default), tts, queue-exact,
-	// tts-backoff.
-	Lock string `json:"lock,omitempty"`
-	// Cons is the consistency model: sc (default) or wo.
-	Cons string `json:"cons,omitempty"`
-	// Check enables the runtime invariant checker (~1.5x slower).
-	Check bool `json:"check,omitempty"`
-}
+// The wire types live in internal/api (the versioned contract both client
+// and server depend on). These aliases keep one release of compatibility
+// for code that referred to them through this package.
+//
+// Deprecated: use the internal/api types directly.
+type (
+	SimRequest    = api.SimRequest
+	SimPayload    = api.SimPayload
+	SimResponse   = api.SimResponse
+	SweepRequest  = api.SweepRequest
+	SweepOutcome  = api.SweepOutcome
+	SweepPayload  = api.SweepPayload
+	SweepResponse = api.SweepResponse
+)
 
 // simJob is a validated, canonicalised SimRequest ready to execute. Its
 // key is what coalescing and the result cache operate on: two requests
@@ -138,40 +131,6 @@ func (j simJob) task() engine.Task {
 	}
 }
 
-// SimPayload is the shareable part of a /v1/sim response: one pointer is
-// handed to every coalesced waiter and kept in the result cache, so it is
-// immutable after construction.
-type SimPayload struct {
-	Request SimRequest        `json:"request"`
-	Ideal   trace.Summary     `json:"ideal"`
-	Result  *machine.Result   `json:"result"`
-	Report  metrics.RunReport `json:"report"`
-}
-
-// SimResponse is the full /v1/sim body: the payload plus how this
-// particular request was served.
-type SimResponse struct {
-	*SimPayload
-	// Served tells how the request was satisfied: "run" (this request
-	// executed the simulation), "coalesced" (it joined an identical
-	// in-flight run), or "cache" (the result cache had it).
-	Served string `json:"served"`
-}
-
-// SweepRequest is the body of POST /v1/sweep: the full benchmark × model
-// matrix (or a subset) in one job, the service-side equivalent of
-// core.RunSuiteCtx.
-type SweepRequest struct {
-	// Scale is the workload scale; 0 selects 0.2.
-	Scale float64 `json:"scale,omitempty"`
-	// Seed drives generation randomness.
-	Seed int64 `json:"seed,omitempty"`
-	// Models restricts the machine models (queue, tts, wo); empty = all.
-	Models []string `json:"models,omitempty"`
-	// Only restricts the benchmarks by name; empty = all six.
-	Only []string `json:"only,omitempty"`
-}
-
 // sweepJob is a validated SweepRequest.
 type sweepJob struct {
 	req    SweepRequest
@@ -221,27 +180,4 @@ func normalizeSweep(req SweepRequest) (sweepJob, error) {
 		key: fmt.Sprintf("sweep|%g|%d|%s|%s",
 			req.Scale, req.Seed, strings.Join(req.Models, ","), strings.Join(req.Only, ",")),
 	}, nil
-}
-
-// SweepOutcome is one benchmark's share of a sweep response; model results
-// are keyed by model name rather than core.Model's integer value.
-type SweepOutcome struct {
-	Name    string                     `json:"name"`
-	Params  workload.Params            `json:"params"`
-	Ideal   trace.Summary              `json:"ideal"`
-	Results map[string]*machine.Result `json:"results"`
-	Report  *metrics.RunReport         `json:"report,omitempty"`
-}
-
-// SweepPayload is the shareable part of a /v1/sweep response.
-type SweepPayload struct {
-	Request  SweepRequest        `json:"request"`
-	Outcomes []SweepOutcome      `json:"outcomes"`
-	Report   metrics.SuiteReport `json:"report"`
-}
-
-// SweepResponse is the full /v1/sweep body.
-type SweepResponse struct {
-	*SweepPayload
-	Served string `json:"served"`
 }

@@ -40,6 +40,7 @@ import (
 	"syncsim/internal/engine"
 	"syncsim/internal/machine"
 	"syncsim/internal/metrics"
+	"syncsim/internal/predict"
 )
 
 // Config parameterises a Server. Zero values select production defaults.
@@ -69,6 +70,11 @@ type Config struct {
 	// boundaries (see internal/chaos and the syncsimd -chaos flag). Nil —
 	// the production default — is permanently inert.
 	Chaos *chaos.Plane
+	// Predict, when non-nil, is the fitted analytic prediction model
+	// served by POST /v1/predict's fast path (see internal/predict and
+	// the syncsimd -predict-model flag). Nil: analytic mode answers 422
+	// and auto mode always falls back to simulation.
+	Predict *predict.Model
 	// Logf receives operational log lines (panic incidents with stacks).
 	// Nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -135,8 +141,12 @@ type Server struct {
 	genTime   *metrics.Timer
 	simTime   *metrics.Timer
 
-	chaos *chaos.Plane
-	logf  func(format string, args ...any)
+	predAnalytic *metrics.Counter // /v1/predict answered by the fitted model
+	predFallback *metrics.Counter // /v1/predict fell through to simulation
+
+	chaos   *chaos.Plane
+	predict *predict.Model
+	logf    func(format string, args ...any)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -154,7 +164,7 @@ type Server struct {
 // New builds a Server ready to serve.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, chaos: cfg.Chaos, logf: cfg.Logf}
+	s := &Server{cfg: cfg, chaos: cfg.Chaos, predict: cfg.Predict, logf: cfg.Logf}
 	s.traceCache = engine.NewTraceCacheCap(cfg.TraceCacheCap)
 	s.eng = engine.New(engine.Config{Workers: cfg.Workers, Cache: s.traceCache, Chaos: cfg.Chaos})
 	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth)
@@ -174,6 +184,8 @@ func New(cfg Config) *Server {
 	s.schedIt = s.reg.Counter("sched_iterations_total")
 	s.genTime = s.reg.Timer("phase_generate")
 	s.simTime = s.reg.Timer("phase_simulate")
+	s.predAnalytic = s.reg.Counter("predict_analytic")
+	s.predFallback = s.reg.Counter("predict_fallback")
 
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.execTasks = s.eng.Run
@@ -182,6 +194,8 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", metrics.Handler(s.reg, s.gauges))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -248,17 +262,18 @@ func (s *Server) Close() { s.baseCancel() }
 func (s *Server) gauges() map[string]int64 {
 	tc := s.traceCache.Stats()
 	g := map[string]int64{
-		"queue_depth":         int64(s.adm.queued()),
-		"jobs_running":        int64(s.adm.running()),
-		"inflight_requests":   s.inflight.Load(),
-		"result_cache_len":    int64(s.results.len()),
-		"trace_cache_len":     int64(tc.Len),
-		"trace_cache_cap":     int64(tc.Cap),
-		"trace_cache_hit":     tc.Hits,
-		"trace_cache_miss":    tc.Misses,
-		"trace_cache_evicted": tc.Evictions,
-		"draining":            boolGauge(s.draining.Load()),
-		"chaos_enabled":       boolGauge(s.chaos != nil),
+		"queue_depth":          int64(s.adm.queued()),
+		"jobs_running":         int64(s.adm.running()),
+		"inflight_requests":    s.inflight.Load(),
+		"result_cache_len":     int64(s.results.len()),
+		"trace_cache_len":      int64(tc.Len),
+		"trace_cache_cap":      int64(tc.Cap),
+		"trace_cache_hit":      tc.Hits,
+		"trace_cache_miss":     tc.Misses,
+		"trace_cache_evicted":  tc.Evictions,
+		"draining":             boolGauge(s.draining.Load()),
+		"chaos_enabled":        boolGauge(s.chaos != nil),
+		"predict_model_loaded": boolGauge(s.predict != nil),
 	}
 	for pt, fired := range s.chaos.Snapshot() {
 		g["chaos_fired_"+pt] = int64(fired)
@@ -372,24 +387,33 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if p, ok := s.results.get(job.key); ok {
-		s.cacheHits.Inc()
-		writeJSON(w, http.StatusOK, SimResponse{SimPayload: p.(*SimPayload), Served: "cache"})
-		return
-	}
-
-	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
-		func(jobCtx context.Context) (any, error) { return s.runSim(jobCtx, job) })
+	payload, served, err := s.simResult(r, job)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	served := "run"
-	if shared {
-		served = "coalesced"
-		s.coalesced.Inc()
+	writeJSON(w, http.StatusOK, SimResponse{SimPayload: payload, Served: served})
+}
+
+// simResult serves one validated simulation job through the shared
+// machinery — result cache, single-flight coalescing, then a real run —
+// and reports how it was served (cache/coalesced/run). Both /v1/sim and
+// /v1/predict's simulation fallback go through here.
+func (s *Server) simResult(r *http.Request, job simJob) (*SimPayload, string, error) {
+	if p, ok := s.results.get(job.key); ok {
+		s.cacheHits.Inc()
+		return p.(*SimPayload), "cache", nil
 	}
-	writeJSON(w, http.StatusOK, SimResponse{SimPayload: val.(*SimPayload), Served: served})
+	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
+		func(jobCtx context.Context) (any, error) { return s.runSim(jobCtx, job) })
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		s.coalesced.Inc()
+		return val.(*SimPayload), "coalesced", nil
+	}
+	return val.(*SimPayload), "run", nil
 }
 
 // runSim executes one validated simulation job on the engine pool, under

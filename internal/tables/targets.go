@@ -1,0 +1,56 @@
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"syncsim/internal/trace"
+	"syncsim/internal/workload/suite"
+)
+
+// TargetRow is one measured-vs-published comparison of a workload's ideal
+// statistics against the paper's Tables 1-2: the measured value (already
+// normalised to the paper's scale), the published target, and their ratio.
+type TargetRow struct {
+	Label string
+	Got   float64
+	Want  float64
+}
+
+// Ratio is measured over target; 0 when the target is absent.
+func (r TargetRow) Ratio() float64 {
+	if r.Want <= 0 {
+		return 0
+	}
+	return r.Got / r.Want
+}
+
+// TargetRows reduces one benchmark's ideal summary to the paper-target
+// comparison rows. Extensive quantities (work, references, lock pairs)
+// are divided by the generation scale so every row is directly comparable
+// with the published full-size run; intensive quantities (mean hold time,
+// % time locked) are compared as-is. This is the single definition of
+// "how close is a generator to the paper" — cmd/calibrate and the
+// cmd/predict report both render it.
+func TargetRows(s trace.Summary, paper suite.Ideal, scale float64) []TargetRow {
+	return []TargetRow{
+		{"workK", s.WorkCycles / 1000 / scale, paper.WorkKCycles},
+		{"refsK", s.Refs / 1000 / scale, paper.RefsK},
+		{"dataK", s.DataRefs / 1000 / scale, paper.DataK},
+		{"sharedK", s.SharedRefs / 1000 / scale, paper.SharedK},
+		{"pairs", s.LockPairs / scale, paper.LockPairs},
+		{"nested", s.NestedLocks / scale, paper.NestedLocks},
+		{"avgHeld", s.AvgHeld, paper.AvgHeld},
+		{"pctHeld", s.PctTime, paper.PctTime},
+	}
+}
+
+// FormatTargets renders target rows in the calibrate CLI's fixed-width
+// format, one "label got / want (xRatio)" line each.
+func FormatTargets(rows []TargetRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-8s %10.0f / %10.0f  (x%.2f)\n", r.Label, r.Got, r.Want, r.Ratio())
+	}
+	return sb.String()
+}
