@@ -381,3 +381,31 @@ func BenchmarkMachineRun(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMachineRunParallel is BenchmarkMachineRun under the speculative
+// parallel scheduler with four workers — the configuration BENCH_pr7.json
+// records and the CI regression gate watches. On a single-CPU host the
+// worker count clamps to GOMAXPROCS and the speculation runs inline; the
+// speedup over BenchmarkMachineRun is then purely algorithmic (leased
+// stretches skip the per-visited-cycle calendar machinery).
+func BenchmarkMachineRunParallel(b *testing.B) {
+	for _, name := range suite.Names() {
+		for _, model := range []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO} {
+			b.Run(fmt.Sprintf("%s/%s", name, model), func(b *testing.B) {
+				cfg := model.MachineConfig(machine.DefaultConfig())
+				cfg.Sched = machine.SchedParallel
+				cfg.Workers = 4
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					set := benchTrace(b, name)
+					res, err := machine.Run(set, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.RunTime
+				}
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simCycles/s")
+			})
+		}
+	}
+}

@@ -82,7 +82,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	showMetrics := fs.Bool("metrics", false, "print the per-phase run report (generate/analyze/simulate wall time, throughput)")
 	hotLocks := fs.Int("locks", 0, "print the N hottest locks by acquisitions")
 	hist := fs.Bool("hist", false, "print the waiters-at-transfer histogram")
-	sched := fs.String("sched", "calendar", "simulation scheduler: calendar (event-driven) or polling (step every CPU every cycle)")
+	sched := fs.String("sched", "calendar", "simulation scheduler: calendar (event-driven), polling (step every CPU every cycle), or parallel (speculative run-ahead, bit-identical)")
+	schedWorkers := fs.Int("workers", 0, "worker goroutines for the parallel scheduler (0/1 = inline speculation)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -117,14 +118,15 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	default:
 		return fmt.Errorf("unknown consistency model %q (want sc or wo)", *cons)
 	}
-	switch *sched {
-	case "calendar":
-		cfg.Sched = machine.SchedCalendar
-	case "polling":
-		cfg.Sched = machine.SchedPolling
-	default:
-		return fmt.Errorf("unknown scheduler %q (want calendar or polling)", *sched)
+	kind, err := machine.ParseSched(*sched)
+	if err != nil {
+		return fmt.Errorf("unknown scheduler %q (want calendar, polling, parallel)", *sched)
 	}
+	cfg.Sched = kind
+	if *schedWorkers != 0 && kind != machine.SchedParallel {
+		return fmt.Errorf("-workers only applies to -sched parallel")
+	}
+	cfg.Workers = *schedWorkers
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -35,6 +35,14 @@ type SimRequest struct {
 	Lock string `json:"lock,omitempty"`
 	// Cons is the consistency model: sc (default) or wo.
 	Cons string `json:"cons,omitempty"`
+	// Sched is the simulation-loop scheduler: calendar (default), polling,
+	// or parallel. All schedulers produce bit-identical results; GET
+	// /v1/capabilities lists the valid names.
+	Sched string `json:"sched,omitempty"`
+	// Workers bounds the helper goroutines of the parallel scheduler
+	// (0 = inline speculation). Only valid with sched "parallel"; results
+	// do not depend on it.
+	Workers int `json:"workers,omitempty"`
 	// Check enables the runtime invariant checker (~1.5x slower).
 	Check bool `json:"check,omitempty"`
 }

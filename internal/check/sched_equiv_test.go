@@ -3,66 +3,112 @@ package check
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"syncsim/internal/core"
 	"syncsim/internal/machine"
 )
 
-// TestSchedulerEquivalence pins the wakeup-calendar scheduler to the
-// retained polling loop bit-for-bit: every Result field — run time, every
-// per-CPU stall counter, cache/bus/memory/lock statistics — must be
-// identical across all six benchmarks and all three machine models at the
-// golden corpus scale. Only Config (which records the scheduler choice)
-// and Sched (the loop's own work counters, whose difference IS the
-// optimisation) are excluded from the comparison.
-func TestSchedulerEquivalence(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs the full 6×3 matrix twice")
+// schedEquivSuite runs the full benchmark suite at the golden corpus scale
+// under the given scheduler configuration.
+func schedEquivSuite(t *testing.T, sched machine.SchedKind, workers int) []*core.Outcome {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Sched = sched
+	cfg.Workers = workers
+	outs, err := core.RunSuiteCtx(context.Background(), core.Options{
+		Scale:   GoldenScale,
+		Seed:    GoldenSeed,
+		Machine: &cfg,
+	})
+	if err != nil {
+		t.Fatalf("suite under %v scheduler (workers=%d): %v", sched, workers, err)
 	}
-	runWith := func(sched machine.SchedKind) []*core.Outcome {
-		t.Helper()
-		cfg := machine.DefaultConfig()
-		cfg.Sched = sched
-		outs, err := core.RunSuiteCtx(context.Background(), core.Options{
-			Scale:   GoldenScale,
-			Seed:    GoldenSeed,
-			Machine: &cfg,
-		})
-		if err != nil {
-			t.Fatalf("suite under %v scheduler: %v", sched, err)
-		}
-		return outs
-	}
-	calendar := runWith(machine.SchedCalendar)
-	polling := runWith(machine.SchedPolling)
+	return outs
+}
 
-	if len(calendar) != len(polling) {
-		t.Fatalf("outcome counts differ: %d vs %d", len(calendar), len(polling))
+// assertSuitesEqual pins two suite runs bit-for-bit: every Result field —
+// run time, every per-CPU stall counter, cache/bus/memory/lock statistics —
+// must be identical across all six benchmarks and all three machine models.
+// Only Config (which records the scheduler choice) and Sched (the loop's
+// own work counters, whose difference IS the optimisation) are excluded.
+func assertSuitesEqual(t *testing.T, aName, bName string, a, b []*core.Outcome) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("outcome counts differ: %s %d vs %s %d", aName, len(a), bName, len(b))
 	}
-	for i := range calendar {
-		co, po := calendar[i], polling[i]
-		if co.Name != po.Name {
-			t.Fatalf("benchmark order diverged: %s vs %s", co.Name, po.Name)
+	for i := range a {
+		ao, bo := a[i], b[i]
+		if ao.Name != bo.Name {
+			t.Fatalf("benchmark order diverged: %s vs %s", ao.Name, bo.Name)
 		}
 		for _, model := range []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO} {
-			cr, ok := co.Results[model]
+			ar, ok := ao.Results[model]
 			if !ok {
-				t.Fatalf("%s/%v: missing calendar result", co.Name, model)
+				t.Fatalf("%s/%v: missing %s result", ao.Name, model, aName)
 			}
-			pr := po.Results[model]
-			c, p := *cr, *pr
-			c.Config, p.Config = machine.Config{}, machine.Config{}
-			c.Sched, p.Sched = machine.SchedStats{}, machine.SchedStats{}
-			if !reflect.DeepEqual(c, p) {
-				t.Errorf("%s/%v: calendar and polling results diverge:\n calendar: %+v\n polling:  %+v",
-					co.Name, model, c, p)
+			br := bo.Results[model]
+			av, bv := *ar, *br
+			av.Config, bv.Config = machine.Config{}, machine.Config{}
+			av.Sched, bv.Sched = machine.SchedStats{}, machine.SchedStats{}
+			if !reflect.DeepEqual(av, bv) {
+				t.Errorf("%s/%v: %s and %s results diverge:\n %s: %+v\n %s: %+v",
+					ao.Name, model, aName, bName, aName, av, bName, bv)
 			}
-			// The calendar must actually be doing less work, not just the
-			// same sweep under a new name.
+		}
+	}
+}
+
+// TestSchedulerEquivalence pins the three schedulers to each other
+// bit-for-bit across the full benchmark matrix: the wakeup calendar
+// against the retained polling loop, and the speculative parallel
+// scheduler — at every interesting worker count — against the calendar.
+// Worker counts beyond one exercise the goroutine pool and the
+// pre-dispatch/join path; results must be invariant under all of them and
+// under GOMAXPROCS (the host's parallelism must never leak into simulated
+// time).
+func TestSchedulerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 6×3 matrix under six scheduler configurations")
+	}
+	calendar := schedEquivSuite(t, machine.SchedCalendar, 0)
+	polling := schedEquivSuite(t, machine.SchedPolling, 0)
+	assertSuitesEqual(t, "calendar", "polling", calendar, polling)
+
+	// The calendar must actually be doing less work, not just the same
+	// sweep under a new name.
+	for i := range calendar {
+		for _, model := range []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO} {
+			cr, pr := calendar[i].Results[model], polling[i].Results[model]
 			if cr.Sched.Steps >= pr.Sched.Steps {
 				t.Errorf("%s/%v: calendar stepped %d times, polling %d — no work saved",
-					co.Name, model, cr.Sched.Steps, pr.Sched.Steps)
+					calendar[i].Name, model, cr.Sched.Steps, pr.Sched.Steps)
+			}
+		}
+	}
+
+	// Force real host parallelism for the worker-pool runs even on a
+	// single-CPU machine: Config.Workers is clamped to GOMAXPROCS, so
+	// without this the pool path would silently degrade to the inline one.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		parallel := schedEquivSuite(t, machine.SchedParallel, workers)
+		assertSuitesEqual(t, "calendar", "parallel", calendar, parallel)
+		for i := range parallel {
+			for _, model := range []core.Model{core.ModelQueue, core.ModelTTS, core.ModelWO} {
+				cr, pr := calendar[i].Results[model], parallel[i].Results[model]
+				// Speculation must visit strictly fewer cycles than the
+				// calendar: leased stretches collapse into a single wakeup
+				// at the blocking cycle. (Step counts are not compared —
+				// superseded post-rollback wakeups add no-op steps and
+				// weak-ordering write stretches merge steps, in both
+				// directions, without affecting any architectural result.)
+				if pr.Sched.Iterations >= cr.Sched.Iterations {
+					t.Errorf("%s/%v workers=%d: parallel visited %d cycles, calendar %d — no lookahead won",
+						parallel[i].Name, model, workers, pr.Sched.Iterations, cr.Sched.Iterations)
+				}
 			}
 		}
 	}

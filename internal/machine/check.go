@@ -61,11 +61,18 @@ func (k *checker) afterTxn(t busTxn) error {
 	}
 	k.lastNow = m.now
 	for i, c := range m.cpus {
-		if c.busyUntil < k.lastBusy[i] {
-			return invariantf("cpu %d busyUntil moved backwards: %d after %d",
-				i, c.busyUntil, k.lastBusy[i])
+		busy := c.busyUntil
+		if m.par != nil && m.par.leases[i].active {
+			// A leased processor's busyUntil is speculative: it can
+			// legitimately retreat on rollback. The committed high-water
+			// mark is the lease snapshot's.
+			busy = m.par.leases[i].snap.busyUntil
 		}
-		k.lastBusy[i] = c.busyUntil
+		if busy < k.lastBusy[i] {
+			return invariantf("cpu %d busyUntil moved backwards: %d after %d",
+				i, busy, k.lastBusy[i])
+		}
+		k.lastBusy[i] = busy
 		if c.stallCause != causeNone && c.stallStart > m.now {
 			return invariantf("cpu %d stall started at %d, after now %d", i, c.stallStart, m.now)
 		}
@@ -181,20 +188,20 @@ func (k *checker) checkHolderIndex() error {
 	if m.holders == nil {
 		return nil
 	}
-	want := make(map[uint32]uint64, len(m.holders))
+	want := make(map[uint32]uint64, m.holders.lenLive())
 	for i, c := range m.cpus {
 		bit := uint64(1) << uint(i)
 		c.cache.ForEachLine(func(addr uint32, st cache.State) {
 			want[addr] |= bit
 		})
 	}
-	if len(want) != len(m.holders) {
-		return invariantf("holder index drifted: %d lines indexed, %d resident", len(m.holders), len(want))
+	if len(want) != m.holders.lenLive() {
+		return invariantf("holder index drifted: %d lines indexed, %d resident", m.holders.lenLive(), len(want))
 	}
 	for line, mask := range want {
-		if m.holders[line] != mask {
+		if got := m.holders.get(line); got != mask {
 			return invariantf("holder index drifted on line %#x: indexed %#x, resident %#x%s",
-				line, m.holders[line], mask, m.lineHolders(line))
+				line, got, mask, m.lineHolders(line))
 		}
 	}
 	return nil

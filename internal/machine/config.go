@@ -44,7 +44,7 @@ func (c Consistency) String() string {
 	}
 }
 
-// SchedKind selects the simulation-loop scheduler. Both schedulers are
+// SchedKind selects the simulation-loop scheduler. All schedulers are
 // cycle-exact — they produce bit-identical results — and differ only in
 // how they find the work of each simulated cycle.
 type SchedKind uint8
@@ -59,6 +59,15 @@ const (
 	// processor and rescans every component for the next event time. Kept
 	// for differential testing against the calendar scheduler.
 	SchedPolling
+	// SchedParallel drives the machine off the same wakeup calendar but
+	// speculatively runs each processor through its purely-local event
+	// stretches (execution bursts and cache hits) ahead of the global
+	// clock, committing the speculation in calendar order and rolling it
+	// back when a bus snoop invalidates it. Every bus transaction is
+	// ordered exactly as under SchedCalendar, so results are
+	// bit-identical; Config.Workers bounds the helper goroutines. See
+	// internal/machine/parallel.go and DESIGN §16.
+	SchedParallel
 )
 
 func (s SchedKind) String() string {
@@ -67,8 +76,42 @@ func (s SchedKind) String() string {
 		return "calendar"
 	case SchedPolling:
 		return "polling"
+	case SchedParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("SchedKind(%d)", uint8(s))
+	}
+}
+
+// Schedulers lists every scheduler kind in wire-name order. It is the
+// single source of truth for CLI flags and the service's capabilities
+// endpoint, so the advertised set cannot drift from the implementation.
+func Schedulers() []SchedKind {
+	return []SchedKind{SchedCalendar, SchedPolling, SchedParallel}
+}
+
+// SchedulerNames returns the wire names of every scheduler kind.
+func SchedulerNames() []string {
+	kinds := Schedulers()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// ParseSched resolves a scheduler wire name. The empty string selects the
+// default (calendar) scheduler.
+func ParseSched(name string) (SchedKind, error) {
+	switch name {
+	case "", SchedCalendar.String():
+		return SchedCalendar, nil
+	case SchedPolling.String():
+		return SchedPolling, nil
+	case SchedParallel.String():
+		return SchedParallel, nil
+	default:
+		return 0, fmt.Errorf("machine: unknown scheduler %q", name)
 	}
 }
 
@@ -81,9 +124,16 @@ type Config struct {
 	Lock        locks.Algorithm
 	Consistency Consistency
 
-	// Sched selects the run-loop scheduler; both produce identical
+	// Sched selects the run-loop scheduler; all produce identical
 	// results (see SchedKind). The zero value is the calendar scheduler.
 	Sched SchedKind
+	// Workers bounds the helper goroutines SchedParallel may use for
+	// speculative processor run-ahead. 0 or 1 keeps the speculation
+	// inline on the coordinator (the same algorithm with no goroutines);
+	// larger values are clamped to GOMAXPROCS and to the processor count.
+	// Results are bit-identical for every value. Ignored by the other
+	// schedulers.
+	Workers int `json:",omitempty"`
 
 	// BackoffBase and BackoffMax bound the exponential backoff of the
 	// TTSBackoff lock algorithm, in cycles. Zero values select defaults
@@ -159,9 +209,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: unknown consistency model %v", c.Consistency)
 	}
 	switch c.Sched {
-	case SchedCalendar, SchedPolling:
+	case SchedCalendar, SchedPolling, SchedParallel:
 	default:
 		return fmt.Errorf("machine: unknown scheduler %v", c.Sched)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("machine: workers must be non-negative, got %d", c.Workers)
 	}
 	switch c.Fault {
 	case FaultNone, FaultSkipInvalidate:

@@ -1,0 +1,132 @@
+package machine
+
+import "math/bits"
+
+// holderTable is the holder index: line address → bitmask of processors
+// whose cache holds the line. It replaces the map that originally backed
+// the index because the index sits on the per-transaction hot path —
+// applySnoops and hasSupplier read it for every bus transaction, and the
+// caches' residency hooks write it on every fill, eviction and
+// invalidation. An open-addressed table with fibonacci hashing makes each
+// of those a handful of array probes with no hashing interface or bucket
+// machinery.
+//
+// Deletion is lazy: clearing a line's last holder bit leaves the slot in
+// place with a zero mask (reads treat it as absent), and dead slots are
+// dropped wholesale at the next growth rehash. Residency churn —
+// invalidation storms killing and refilling the same lines — therefore
+// never degrades probe lengths the way tombstone accumulation would: a
+// re-fill of a dead line revives its slot in place, and only genuinely
+// abandoned lines ride to the next rehash.
+type holderTable struct {
+	keys  []uint32
+	masks []uint64
+	state []uint8 // 0 = never used, 1 = occupied (mask may be 0 = dead)
+	shift uint    // 32 - log2(len(keys)); fibonacci hash shift
+	live  int     // occupied slots with a non-zero mask
+	used  int     // occupied slots, live or dead
+}
+
+const holderTableMinSize = 1024 // slots; power of two
+
+func newHolderTable() *holderTable {
+	t := &holderTable{}
+	t.init(holderTableMinSize)
+	return t
+}
+
+func (t *holderTable) init(size int) {
+	t.keys = make([]uint32, size)
+	t.masks = make([]uint64, size)
+	t.state = make([]uint8, size)
+	t.shift = uint(32 - bits.TrailingZeros(uint(size)))
+	t.live = 0
+	t.used = 0
+}
+
+// slot probes for line, returning the index of its slot (occupied with
+// this key) or of the first never-used slot where it would be inserted.
+func (t *holderTable) slot(line uint32) int {
+	mask := uint32(len(t.keys) - 1)
+	i := (line * 2654435769) >> t.shift
+	for {
+		if t.state[i] == 0 || t.keys[i] == line {
+			return int(i)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the holder mask of line (0 when absent or dead).
+func (t *holderTable) get(line uint32) uint64 {
+	i := t.slot(line)
+	if t.state[i] == 0 {
+		return 0
+	}
+	return t.masks[i]
+}
+
+// or sets bit in line's holder mask, inserting the line if needed.
+func (t *holderTable) or(line uint32, bit uint64) {
+	i := t.slot(line)
+	if t.state[i] == 0 {
+		t.state[i] = 1
+		t.keys[i] = line
+		t.used++
+	}
+	if t.masks[i] == 0 {
+		t.live++
+	}
+	t.masks[i] |= bit
+	// Grow at 3/4 occupancy (dead slots included — they lengthen probes
+	// just like live ones until a rehash drops them).
+	if t.used*4 >= len(t.keys)*3 {
+		t.rehash()
+	}
+}
+
+// clear removes bit from line's holder mask. The slot goes dead (not
+// deleted) when the mask reaches zero.
+func (t *holderTable) clear(line uint32, bit uint64) {
+	i := t.slot(line)
+	if t.state[i] == 0 || t.masks[i] == 0 {
+		return
+	}
+	t.masks[i] &^= bit
+	if t.masks[i] == 0 {
+		t.live--
+	}
+}
+
+// rehash rebuilds the table keeping only live entries, at least doubling
+// capacity when the live set alone justifies it.
+func (t *holderTable) rehash() {
+	size := len(t.keys)
+	for t.live*4 >= size*3 {
+		size *= 2
+	}
+	keys, masks, state := t.keys, t.masks, t.state
+	t.init(size)
+	for i, st := range state {
+		if st != 0 && masks[i] != 0 {
+			j := t.slot(keys[i])
+			t.state[j] = 1
+			t.keys[j] = keys[i]
+			t.masks[j] = masks[i]
+			t.used++
+		}
+	}
+	t.live = t.used
+}
+
+// forEach visits every live (line, mask) pair in unspecified order.
+func (t *holderTable) forEach(fn func(line uint32, mask uint64)) {
+	for i, st := range t.state {
+		if st != 0 && t.masks[i] != 0 {
+			fn(t.keys[i], t.masks[i])
+		}
+	}
+}
+
+// lenLive returns the number of lines with at least one holder.
+func (t *holderTable) lenLive() int { return t.live }

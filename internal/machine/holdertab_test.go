@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHolderTableBasic exercises insert, accumulate, clear-to-dead and
+// in-place revival of a dead slot.
+func TestHolderTableBasic(t *testing.T) {
+	tab := newHolderTable()
+	if got := tab.get(0x1000); got != 0 {
+		t.Fatalf("empty table get = %#x", got)
+	}
+	tab.or(0x1000, 1<<3)
+	tab.or(0x1000, 1<<7)
+	tab.or(0x2000, 1<<0)
+	if got := tab.get(0x1000); got != 1<<3|1<<7 {
+		t.Fatalf("get(0x1000) = %#x", got)
+	}
+	if tab.lenLive() != 2 {
+		t.Fatalf("lenLive = %d, want 2", tab.lenLive())
+	}
+	tab.clear(0x1000, 1<<3)
+	tab.clear(0x1000, 1<<7)
+	if got := tab.get(0x1000); got != 0 {
+		t.Fatalf("cleared line get = %#x", got)
+	}
+	if tab.lenLive() != 1 {
+		t.Fatalf("lenLive after clear = %d, want 1", tab.lenLive())
+	}
+	// Clearing an absent line or an already-dead slot is a no-op.
+	tab.clear(0x3000, 1)
+	tab.clear(0x1000, 1)
+	// A dead slot revives in place.
+	tab.or(0x1000, 1<<5)
+	if got := tab.get(0x1000); got != 1<<5 {
+		t.Fatalf("revived line get = %#x", got)
+	}
+	if tab.lenLive() != 2 {
+		t.Fatalf("lenLive after revival = %d, want 2", tab.lenLive())
+	}
+}
+
+// TestHolderTableGrowthAndCompaction drives the table far past its
+// initial capacity with interleaved deletions and diffs it against a map
+// oracle, so growth rehashes (which drop dead slots) cannot lose or
+// corrupt entries.
+func TestHolderTableGrowthAndCompaction(t *testing.T) {
+	tab := newHolderTable()
+	oracle := map[uint32]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		line := uint32(rng.Intn(8192)) << 5
+		bit := uint64(1) << uint(rng.Intn(64))
+		if rng.Intn(3) == 0 {
+			tab.clear(line, bit)
+			if m := oracle[line] &^ bit; m == 0 {
+				delete(oracle, line)
+			} else {
+				oracle[line] = m
+			}
+		} else {
+			tab.or(line, bit)
+			oracle[line] |= bit
+		}
+	}
+	if tab.lenLive() != len(oracle) {
+		t.Fatalf("lenLive = %d, oracle has %d", tab.lenLive(), len(oracle))
+	}
+	for line, mask := range oracle {
+		if got := tab.get(line); got != mask {
+			t.Fatalf("get(%#x) = %#x, want %#x", line, got, mask)
+		}
+	}
+	seen := 0
+	tab.forEach(func(line uint32, mask uint64) {
+		seen++
+		if oracle[line] != mask {
+			t.Fatalf("forEach(%#x) = %#x, want %#x", line, mask, oracle[line])
+		}
+	})
+	if seen != len(oracle) {
+		t.Fatalf("forEach visited %d lines, want %d", seen, len(oracle))
+	}
+}

@@ -67,12 +67,12 @@ type Machine struct {
 	barriers map[uint32]*barrierState
 	lineBusy map[uint32]int // lines with an outstanding memory fill
 
-	// holders maps a line address to the bitmask of processors whose cache
+	// holders indexes line address → bitmask of processors whose cache
 	// holds it, maintained through each cache's residency Notify hook. It
 	// lets applySnoops and hasSupplier visit only actual holders instead of
 	// probing every cache per transaction. nil when NCPU exceeds the mask
 	// width; the full-scan paths remain as the fallback.
-	holders map[uint32]uint64
+	holders *holderTable
 	// wbPending counts write-back entries across all cache-bus buffers.
 	// Zero (the common case) skips the per-processor pending-write-back
 	// scans in applySnoops and hasSupplier. It may transiently include
@@ -94,6 +94,10 @@ type Machine struct {
 	// sched is the wakeup calendar; nil under SchedPolling, in which case
 	// every scheduler hook is a no-op and the original loop runs.
 	sched *scheduler
+	// par is the speculative parallel executor's state; non-nil only when
+	// Config.Sched is SchedParallel and the configuration supports it
+	// (holder index available, sources rewindable). See parallel.go.
+	par   *parExec
 	iters uint64 // visited simulation cycles
 	steps uint64 // cpu step() invocations
 
@@ -122,7 +126,7 @@ func New(set *trace.Set, cfg Config) (*Machine, error) {
 		lineBusy: make(map[uint32]int),
 	}
 	if set.NCPU() <= 64 {
-		m.holders = make(map[uint32]uint64)
+		m.holders = newHolderTable()
 	}
 	for i, src := range set.Sources {
 		c := &cpu{
@@ -138,11 +142,9 @@ func New(set *trace.Set, cfg Config) (*Machine, error) {
 			bit := uint64(1) << uint(i)
 			c.cache.Notify(func(line uint32, resident bool) {
 				if resident {
-					m.holders[line] |= bit
-				} else if mask := m.holders[line] &^ bit; mask == 0 {
-					delete(m.holders, line)
+					m.holders.or(line, bit)
 				} else {
-					m.holders[line] = mask
+					m.holders.clear(line, bit)
 				}
 			})
 		}
@@ -152,13 +154,21 @@ func New(set *trace.Set, cfg Config) (*Machine, error) {
 		m.checker = newChecker(m)
 		m.locks.EnableAudit()
 	}
-	if cfg.Sched == SchedCalendar {
+	if cfg.Sched == SchedCalendar || cfg.Sched == SchedParallel {
 		m.sched = newScheduler(len(m.cpus))
 		// Event registration: the bus and the memory module announce
 		// completion times as transactions start, replacing the polling
 		// loop's per-iteration NextEventAt/Free scans.
 		m.bus.Notify(m.sched.pushTime)
 		m.mem.Notify(m.sched.pushTime)
+	}
+	if cfg.Sched == SchedParallel {
+		// The speculative executor needs the holder index (to route
+		// snoops at leased processors) and rewindable sources (to replay
+		// a rolled-back speculation). Configurations outside that
+		// envelope silently fall back to the calendar loop — results are
+		// identical by construction, only the execution strategy differs.
+		m.par = newParExec(m)
 	}
 	return m, nil
 }
@@ -231,9 +241,12 @@ func (m *Machine) RunCtx(ctx context.Context) (*Result, error) {
 	}
 	m.heartbeat = heartbeatFrom(ctx)
 	var err error
-	if m.sched != nil {
+	switch {
+	case m.par != nil:
+		err = m.runParallel(ctx)
+	case m.sched != nil:
 		err = m.runCalendar(ctx)
-	} else {
+	default:
 		err = m.runPolling(ctx)
 	}
 	if err != nil {
@@ -616,7 +629,7 @@ func (m *Machine) ready(i int) bool {
 // clean; buffered dirty lines are coherence-visible).
 func (m *Machine) hasSupplier(requester int, line uint32) bool {
 	if m.holders != nil {
-		if m.holders[line]&^(uint64(1)<<uint(requester)) != 0 {
+		if m.holders.get(line)&^(uint64(1)<<uint(requester)) != 0 {
 			return true
 		}
 		if m.wbPending == 0 {
@@ -660,10 +673,10 @@ func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (sup
 		// order like the full scan below. The mask is read once up front:
 		// invalidations prune m.holders through the residency hook while
 		// the loop runs.
-		for mask := m.holders[line] &^ (uint64(1) << uint(requester)); mask != 0; mask &= mask - 1 {
+		for mask := m.holders.get(line) &^ (uint64(1) << uint(requester)); mask != 0; mask &= mask - 1 {
 			j := bits.TrailingZeros64(mask)
 			c := m.cpus[j]
-			res := c.cache.Snoop(line, op)
+			res := m.snoopCache(j, line, op)
 			if res.HadCopy {
 				supplied = true
 				if invalidating && c.state == stTTSSpin &&
@@ -704,7 +717,7 @@ func (m *Machine) applySnoops(requester int, line uint32, op cache.SnoopOp) (sup
 		if j == requester {
 			continue
 		}
-		res := c.cache.Snoop(line, op)
+		res := m.snoopCache(j, line, op)
 		if res.HadCopy {
 			supplied = true
 			if invalidating && c.state == stTTSSpin &&

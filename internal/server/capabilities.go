@@ -33,9 +33,9 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		Consistency: []string{
 			machine.SeqConsistent.String(), machine.WeakOrdering.String(),
 		},
-		Schedulers: []string{
-			machine.SchedCalendar.String(), machine.SchedPolling.String(),
-		},
+		// Sourced from the machine's own registry so the advertised set
+		// cannot drift from what normalizeSim accepts.
+		Schedulers: machine.SchedulerNames(),
 	}
 	for _, b := range suite.All() {
 		resp.Benchmarks = append(resp.Benchmarks, api.BenchmarkInfo{

@@ -88,6 +88,21 @@ func normalizeSim(req SimRequest) (simJob, error) {
 	default:
 		return simJob{}, fmt.Errorf("unknown cons %q (want sc or wo)", req.Cons)
 	}
+	sched, err := machine.ParseSched(req.Sched)
+	if err != nil {
+		return simJob{}, fmt.Errorf("unknown sched %q (want %s)",
+			req.Sched, strings.Join(machine.SchedulerNames(), ", "))
+	}
+	req.Sched = sched.String() // canonicalise "" → "calendar"
+	cfg.Sched = sched
+	if req.Workers < 0 {
+		return simJob{}, fmt.Errorf("negative workers %d", req.Workers)
+	}
+	if req.Workers > 0 && sched != machine.SchedParallel {
+		return simJob{}, fmt.Errorf("workers only applies to sched %q, got sched %q",
+			machine.SchedParallel, req.Sched)
+	}
+	cfg.Workers = req.Workers
 	cfg.Check = req.Check
 
 	params := workload.Params{NCPU: req.NCPU, Scale: req.Scale, Seed: req.Seed}
@@ -103,8 +118,11 @@ func normalizeSim(req SimRequest) (simJob, error) {
 		prog:   b.Program,
 		params: params,
 		cfg:    cfg,
-		key: fmt.Sprintf("sim|%s|%d|%g|%d|%s|%s|%t",
-			k.Workload, k.NCPU, k.Scale, k.Seed, req.Lock, req.Cons, req.Check),
+		// Sched and workers are keyed although every scheduler produces
+		// identical statistics: the payload echoes the request and the
+		// result's config, which must reflect what was asked for.
+		key: fmt.Sprintf("sim|%s|%d|%g|%d|%s|%s|%s|%d|%t",
+			k.Workload, k.NCPU, k.Scale, k.Seed, req.Lock, req.Cons, req.Sched, req.Workers, req.Check),
 	}
 	return job, nil
 }

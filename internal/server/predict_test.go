@@ -6,11 +6,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
 	"syncsim/internal/api"
 	"syncsim/internal/engine"
+	"syncsim/internal/machine"
 	"syncsim/internal/metrics"
 	"syncsim/internal/predict"
 )
@@ -254,9 +256,13 @@ func TestCapabilities(t *testing.T) {
 	if len(caps.Benchmarks) != 6 || caps.Benchmarks[0].Name != "Grav" || caps.Benchmarks[0].NCPU != 10 {
 		t.Errorf("benchmarks = %+v, want the six suite entries led by Grav/10", caps.Benchmarks)
 	}
-	if len(caps.Models) != 3 || len(caps.Locks) != 4 || len(caps.Consistency) != 2 || len(caps.Schedulers) != 2 {
-		t.Errorf("vocabulary sizes = %d/%d/%d/%d, want 3/4/2/2 models/locks/cons/schedulers",
-			len(caps.Models), len(caps.Locks), len(caps.Consistency), len(caps.Schedulers))
+	if len(caps.Models) != 3 || len(caps.Locks) != 4 || len(caps.Consistency) != 2 {
+		t.Errorf("vocabulary sizes = %d/%d/%d, want 3/4/2 models/locks/cons",
+			len(caps.Models), len(caps.Locks), len(caps.Consistency))
+	}
+	if !reflect.DeepEqual(caps.Schedulers, machine.SchedulerNames()) {
+		t.Errorf("schedulers = %v, want the machine registry %v (no hand-maintained drift)",
+			caps.Schedulers, machine.SchedulerNames())
 	}
 	if caps.Predict == nil || caps.Predict.Cells != 1 || caps.Predict.MaxErrBound != 0.05 {
 		t.Errorf("predict capability = %+v, want 1 cell with bound 0.05", caps.Predict)

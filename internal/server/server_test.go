@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -89,6 +90,43 @@ func TestEndToEndSim(t *testing.T) {
 	}
 	if again.Result.RunTime != got.Result.RunTime {
 		t.Errorf("cached RunTime = %d, want %d", again.Result.RunTime, got.Result.RunTime)
+	}
+}
+
+// TestEndToEndSimParallelSched serves the same simulation under the
+// calendar and the speculative parallel scheduler and demands identical
+// statistics on the wire: the scheduler is an implementation knob, never
+// an observable one. The two requests must not share a cache entry (their
+// echoed requests differ), which also pins sched/workers into the result
+// cache key.
+func TestEndToEndSimParallelSched(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	serial, resp := postSim(t, ts, `{"bench":"Qsort","scale":0.01,"seed":3}`)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("serial: status = %d, want 200", resp.StatusCode)
+	}
+	parallel, resp := postSim(t, ts, `{"bench":"Qsort","scale":0.01,"seed":3,"sched":"parallel","workers":4}`)
+	if resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel: status = %d, want 200", resp.StatusCode)
+	}
+	if parallel.Served != "run" {
+		t.Errorf("parallel served = %q, want run (sched must be part of the cache key)", parallel.Served)
+	}
+	if parallel.Request.Sched != "parallel" || parallel.Request.Workers != 4 {
+		t.Errorf("request echo lost the scheduler: %+v", parallel.Request)
+	}
+	if serial.Request.Sched != "calendar" {
+		t.Errorf("omitted sched not canonicalised to calendar: %+v", serial.Request)
+	}
+	sr, pr := *serial.Result, *parallel.Result
+	sr.Config, pr.Config = machine.Config{}, machine.Config{}
+	sr.Sched, pr.Sched = machine.SchedStats{}, machine.SchedStats{}
+	if !reflect.DeepEqual(sr, pr) {
+		t.Errorf("parallel result diverges from calendar over the wire:\ncalendar: %+v\nparallel: %+v", sr, pr)
 	}
 }
 

@@ -122,6 +122,20 @@ func (s *CompactSource) Rewind() {
 	s.prevAddr = 0
 }
 
+// Mark implements Marker. The snapshot carries the byte offset, the event
+// count, and the address-delta decoder state, so Seek restores the cursor
+// bit-exactly mid-stream.
+func (s *CompactSource) Mark() Mark {
+	return Mark{Pos: s.pos, Read: s.read, PrevAddr: s.prevAddr}
+}
+
+// Seek implements Marker.
+func (s *CompactSource) Seek(m Mark) {
+	s.pos = m.Pos
+	s.read = m.Read
+	s.prevAddr = m.PrevAddr
+}
+
 // CompactSet builds a trace Set whose sources replay the given compact
 // per-CPU traces.
 func CompactSet(name string, cpus []*Compact) *Set {

@@ -128,6 +128,33 @@ type Rewinder interface {
 	Rewind()
 }
 
+// Mark is a saved replay position captured by Marker.Mark. It is a value
+// snapshot of the cursor, not a reference: holding a Mark costs nothing and
+// Seek restores the exact decode state, including the delta-decoder context
+// of compact traces.
+type Mark struct {
+	Pos      int
+	Read     int
+	PrevAddr uint32
+}
+
+// Marker is implemented by sources whose cursor can be saved and restored
+// mid-stream (Buffer, CompactSource). The machine's speculative parallel
+// scheduler uses it to rewind a processor's trace to the start of a
+// run-ahead window when the speculation must be replayed.
+type Marker interface {
+	// Mark captures the current cursor position.
+	Mark() Mark
+	// Seek restores a position previously captured by Mark on this source.
+	Seek(Mark)
+}
+
+// Mark implements Marker.
+func (b *Buffer) Mark() Mark { return Mark{Pos: b.pos} }
+
+// Seek implements Marker.
+func (b *Buffer) Seek(m Mark) { b.pos = m.Pos }
+
 // Cloner is implemented by sources that can produce an independent cursor
 // over the same underlying trace, so several simulations can replay one
 // generated trace concurrently.
