@@ -8,7 +8,16 @@
 //	syncsim -trace prog.trc [-lock tts] [-cons wo]
 //	syncsim -bench Pdsa -metrics   # per-phase wall time and throughput
 //	syncsim -bench Qsort -check    # run with the invariant checker enabled
+//	syncsim -bench Qsort -scale 1 -stream -membudget 64   # O(ring) memory
 //	syncsim -arch      # print the modelled architecture (the paper's Figure 1)
+//
+// With -stream the trace is not materialised: generation runs concurrently
+// with simulation through a bounded ring, so memory stays O(ring budget)
+// instead of O(trace). Streaming skips the ideal-trace analysis (the events
+// are consumed as they are produced and cannot be rewound) and always
+// simulates on the serial calendar scheduler. -membudget N makes the run
+// fail if peak sampled heap use ever exceeds N MiB — CI uses it to pin the
+// bounded-memory property.
 //
 // Interrupting a run (Ctrl-C) cancels the simulation promptly.
 package main
@@ -23,6 +32,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"syncsim/internal/locks"
@@ -55,6 +65,47 @@ const archDiagram = `Modelled architecture (paper Figure 1, Sequent Symmetry Mod
 Uncontended miss: 1 (request) + 3 (memory) + 2 (line transfer) = 6 cycles.
 Cache-to-cache supply: 3 cycles. Upgrade invalidation: 1 cycle.`
 
+// heapSampler polls runtime.ReadMemStats on its own goroutine and tracks
+// the HeapAlloc high-water mark. Sampling (rather than reading MemStats
+// once at the end) is what catches a transient materialised-trace peak
+// that a post-run GC would hide.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > s.peak.Load() {
+				s.peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+// stopAndPeak halts the sampler and returns the observed peak in bytes.
+// It takes one final sample on the way out so short runs (faster than one
+// ticker period) still report something.
+func (s *heapSampler) stopAndPeak() uint64 {
+	close(s.stop)
+	<-s.done
+	return s.peak.Load()
+}
+
 // main is a thin exit-code shim: all work happens in run, whose deferred
 // cleanups (profile flushes, file closes) must fire on EVERY path. Calling
 // os.Exit anywhere inside run would skip them and truncate profiles.
@@ -84,6 +135,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	hist := fs.Bool("hist", false, "print the waiters-at-transfer histogram")
 	sched := fs.String("sched", "calendar", "simulation scheduler: calendar (event-driven), polling (step every CPU every cycle), or parallel (speculative run-ahead, bit-identical)")
 	schedWorkers := fs.Int("workers", 0, "worker goroutines for the parallel scheduler (0/1 = inline speculation)")
+	stream := fs.Bool("stream", false, "stream traces through a bounded ring instead of materialising them (skips the ideal analysis; serial scheduler)")
+	streamBudget := fs.Int("streambudget", 0, "total buffered events across CPUs for -stream (0 = default)")
+	memBudget := fs.Int("membudget", 0, "peak-heap budget in MiB (0 = unlimited): fail the run if sampled HeapAlloc ever exceeds it")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -162,11 +216,35 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}()
 	}
 
+	if *stream && *traceFile != "" {
+		return fmt.Errorf("-stream applies to generated benchmarks, not -trace files (the file is already materialised)")
+	}
+	if *streamBudget != 0 && !*stream {
+		return fmt.Errorf("-streambudget only applies with -stream")
+	}
+
+	if *memBudget > 0 {
+		sampler := startHeapSampler()
+		// Deferred (and registered after the profile defers, so it runs
+		// before them): a blown budget must fail the run even when the
+		// simulation itself succeeded.
+		defer func() {
+			peak := sampler.stopAndPeak()
+			fmt.Fprintf(stderr, "syncsim: peak heap %.1f MiB (budget %d MiB)\n",
+				float64(peak)/(1<<20), *memBudget)
+			if err == nil && peak > uint64(*memBudget)<<20 {
+				err = fmt.Errorf("peak heap %.1f MiB exceeded the %d MiB budget",
+					float64(peak)/(1<<20), *memBudget)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	var rep metrics.RunReport
 	var set *trace.Set
+	var handle *workload.StreamHandle
 	genStart := time.Now()
 	switch {
 	case *traceFile != "":
@@ -184,7 +262,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		set, err = b.Program.Generate(workload.Params{NCPU: *ncpu, Scale: *scale, Seed: *seed})
+		p := workload.Params{NCPU: *ncpu, Scale: *scale, Seed: *seed}
+		if *stream {
+			set, handle, err = workload.StreamTraces(b.Program, p, *streamBudget)
+		} else {
+			set, err = b.Program.Generate(p)
+		}
 		if err != nil {
 			return err
 		}
@@ -193,14 +276,31 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	rep.Generate = time.Since(genStart)
 
-	anStart := time.Now()
-	ideal := trace.AnalyzeIdeal(set, addr.Shared).Summarize()
-	rep.Analyze = time.Since(anStart)
-	if err := trace.Reset(set); err != nil {
-		return err
+	var ideal trace.Summary
+	if handle == nil {
+		// Streaming sources cannot be rewound, so the ideal-trace analysis
+		// (a full extra pass) only runs on materialised traces.
+		anStart := time.Now()
+		ideal = trace.AnalyzeIdeal(set, addr.Shared).Summarize()
+		rep.Analyze = time.Since(anStart)
+		if err := trace.Reset(set); err != nil {
+			return err
+		}
 	}
 	simStart := time.Now()
 	res, err := machine.RunCtx(ctx, set, cfg)
+	if handle != nil && err != nil {
+		handle.Abort() // unblock and discard the parked generator
+		return err
+	}
+	if handle != nil {
+		// A generation failure truncates the stream: the machine finishes
+		// "successfully" over a partial trace, so the producer's error must
+		// override the simulation result.
+		if werr := handle.Wait(); werr != nil {
+			return fmt.Errorf("generate: %w", werr)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -212,8 +312,13 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	rep.SchedSteps = res.Sched.Steps
 
 	fmt.Fprintf(stdout, "%s  (%d CPUs, lock=%s, consistency=%s)\n", res.Name, len(res.CPUs), cfg.Lock, cfg.Consistency)
-	fmt.Fprintf(stdout, "  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
-		ideal.WorkCycles, ideal.Refs, ideal.DataRefs, ideal.SharedRefs, ideal.LockPairs)
+	if handle != nil {
+		fmt.Fprintf(stdout, "  stream:   peak %d events buffered; ideal analysis skipped\n",
+			handle.MaxBuffered())
+	} else {
+		fmt.Fprintf(stdout, "  ideal:    work %.0f cycles/cpu, %.0f refs/cpu (%.0f data, %.0f shared), %.0f lock pairs/cpu\n",
+			ideal.WorkCycles, ideal.Refs, ideal.DataRefs, ideal.SharedRefs, ideal.LockPairs)
+	}
 	fmt.Fprintf(stdout, "  run-time: %d cycles\n", res.RunTime)
 	fmt.Fprintf(stdout, "  util:     %.1f%%\n", 100*res.AvgUtilization())
 	cachePct, lockPct, otherPct := res.StallBreakdown()

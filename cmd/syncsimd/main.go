@@ -16,6 +16,9 @@
 //	POST /v1/predict      analytic performance prediction (needs
 //	                      -predict-model for the fast path; falls back to
 //	                      cycle-exact simulation)
+//	POST /v1/analyze      what-if contention replay: baseline run plus
+//	                      perturbed replays (lock algorithm, consistency
+//	                      model, lock-word placement), per-lock diff
 //	GET  /v1/capabilities the service's accepted vocabulary
 //	GET  /healthz         liveness; 503 once draining
 //	GET  /metrics         service counters and gauges (add ?format=text)

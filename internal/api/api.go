@@ -189,6 +189,138 @@ type PredictResponse struct {
 	Served string `json:"served"`
 }
 
+// Perturbation kinds accepted by AnalyzeRequest.Perturb. Each names one
+// family of what-if variants replayed against the baseline trace.
+const (
+	// PerturbLock replays under every other lock algorithm.
+	PerturbLock = "lock"
+	// PerturbCons replays under the other consistency model.
+	PerturbCons = "cons"
+	// PerturbPackLocks replays with lock words packed four to a cache
+	// line instead of one per line (false sharing between locks).
+	PerturbPackLocks = "pack-locks"
+)
+
+// Perturbations lists every perturbation kind, in the order the analyzer
+// applies them.
+func Perturbations() []string {
+	return []string{PerturbLock, PerturbCons, PerturbPackLocks}
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze: record a baseline run of
+// one benchmark, replay the identical trace under perturbed lock placement,
+// lock algorithm and consistency model, and report which locks' contention
+// is an artifact of those choices rather than of the program.
+type AnalyzeRequest struct {
+	// Bench is the benchmark name. Required.
+	Bench string `json:"bench"`
+	// Scale is the workload scale; 0 selects the service default (0.2).
+	Scale float64 `json:"scale,omitempty"`
+	// NCPU is the processor count; 0 selects the benchmark default.
+	NCPU int `json:"ncpu,omitempty"`
+	// Seed drives generation randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// Lock is the baseline lock algorithm (queue default); Cons the
+	// baseline consistency model (sc default). Perturbations vary around
+	// this baseline.
+	Lock string `json:"lock,omitempty"`
+	Cons string `json:"cons,omitempty"`
+	// Perturb restricts the perturbation kinds (see Perturbations);
+	// empty = all.
+	Perturb []string `json:"perturb,omitempty"`
+	// Threshold is the relative drop in a lock's mean transfer latency (or
+	// mean waiters at transfer) under a perturbation at which the lock is
+	// flagged. 0 selects the service default (0.5).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// LockContention is one lock's contention profile in one run.
+type LockContention struct {
+	ID           uint32  `json:"id"`
+	Addr         uint32  `json:"addr"`
+	Acquisitions uint64  `json:"acquisitions"`
+	Transfers    uint64  `json:"transfers"`
+	AvgWaiters   float64 `json:"avg_waiters"`     // mean waiters at transfer
+	AvgWait      float64 `json:"avg_wait_cycles"` // mean transfer latency, cycles
+	AvgHold      float64 `json:"avg_hold_cycles"` // mean hold of transferred acquisitions
+	HoldCycles   uint64  `json:"hold_cycles"`     // total hold, completed acquisitions
+}
+
+// LockDelta compares one lock between the baseline and one perturbation.
+// Drops are relative to the baseline: 1.0 means the quantity vanished,
+// negative means it grew.
+type LockDelta struct {
+	Baseline  LockContention `json:"baseline"`
+	Perturbed LockContention `json:"perturbed"`
+	// WaitDrop is the relative drop in mean transfer latency.
+	WaitDrop float64 `json:"wait_drop"`
+	// WaitersDrop is the relative drop in mean waiters at transfer.
+	WaitersDrop float64 `json:"waiters_drop"`
+	// Flagged marks a lock whose baseline contention essentially
+	// disappears under this perturbation (drop ≥ threshold): its cost is
+	// unnecessary — an artifact of the perturbed choice, not the program.
+	Flagged bool `json:"flagged,omitempty"`
+}
+
+// PerturbationResult is the outcome of replaying the baseline trace under
+// one variant.
+type PerturbationResult struct {
+	// Kind is the perturbation family (see Perturbations); Name the
+	// concrete variant, e.g. "lock=tts" or "pack-locks".
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	// RunTime is the perturbed run's completion time in cycles; Speedup
+	// is baseline RunTime / perturbed RunTime (>1 = perturbation faster).
+	RunTime uint64  `json:"run_time"`
+	Speedup float64 `json:"speedup"`
+	// Locks holds the per-lock comparison, ordered by lock id.
+	Locks []LockDelta `json:"locks"`
+}
+
+// AnalyzePayload is the shareable part of a /v1/analyze response.
+type AnalyzePayload struct {
+	Request AnalyzeRequest `json:"request"`
+	// BaselineRunTime is the baseline completion time in cycles, and
+	// BaselineLocks its per-lock contention profile, ordered by lock id.
+	BaselineRunTime uint64           `json:"baseline_run_time"`
+	BaselineLocks   []LockContention `json:"baseline_locks"`
+	// ReplayIdentical reports that the baseline, re-run from a fresh
+	// clone of the cached trace, reproduced bit-identical results — the
+	// determinism guarantee every per-lock delta rests on.
+	ReplayIdentical bool `json:"replay_identical"`
+	// Perturbations holds one entry per replayed variant.
+	Perturbations []PerturbationResult `json:"perturbations"`
+	// Flagged summarises every (lock, variant) pair whose contention
+	// disappeared, ordered by descending baseline wait.
+	Flagged []FlaggedLock `json:"flagged,omitempty"`
+}
+
+// FlaggedLock is one entry of the analyzer's headline answer: lock ID's
+// contention under the baseline is removable by switching to Variant.
+type FlaggedLock struct {
+	ID      uint32 `json:"id"`
+	Variant string `json:"variant"`
+	// BaselineWait and PerturbedWait are mean transfer latencies, cycles.
+	BaselineWait  float64 `json:"baseline_wait"`
+	PerturbedWait float64 `json:"perturbed_wait"`
+	WaitDrop      float64 `json:"wait_drop"`
+}
+
+// AnalyzeResponse is the full /v1/analyze body.
+type AnalyzeResponse struct {
+	*AnalyzePayload
+	Served string `json:"served"`
+}
+
+// AnalyzeCapability describes the what-if replay endpoint.
+type AnalyzeCapability struct {
+	// Perturbations lists the accepted AnalyzeRequest.Perturb values.
+	Perturbations []string `json:"perturbations"`
+	// DefaultThreshold is the flag threshold used when the request
+	// leaves Threshold zero.
+	DefaultThreshold float64 `json:"default_threshold"`
+}
+
 // BenchmarkInfo describes one benchmark in a capabilities response.
 type BenchmarkInfo struct {
 	// Name is the value SimRequest.Bench / PredictRequest.Bench accepts.
@@ -225,4 +357,6 @@ type CapabilitiesResponse struct {
 	Schedulers []string `json:"schedulers"`
 	// Predict is nil when no fitted model is loaded.
 	Predict *PredictCapability `json:"predict,omitempty"`
+	// Analyze describes the /v1/analyze endpoint.
+	Analyze *AnalyzeCapability `json:"analyze,omitempty"`
 }

@@ -134,6 +134,17 @@ func (c *Client) Predict(ctx context.Context, req api.PredictRequest) (*api.Pred
 	return &out, nil
 }
 
+// Analyze runs one what-if contention analysis (POST /v1/analyze),
+// retrying transient failures. The job replays one trace several times
+// server-side, so expect sweep-like latency, not sim-like.
+func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	var out api.AnalyzeResponse
+	if err := c.post(ctx, "/v1/analyze", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Capabilities fetches the service's vocabulary (GET /v1/capabilities):
 // benchmarks, models, locks, consistency models, schedulers, and the
 // loaded prediction model's envelope. Same retry budget as the job

@@ -314,3 +314,42 @@ func TestErrorTaxonomyDecoding(t *testing.T) {
 		})
 	}
 }
+
+// Analyze must POST the right path, decode the payload, and share the
+// retry loop with the other job endpoints.
+func TestAnalyzeRoundTrip(t *testing.T) {
+	var gotPath atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath.Store(r.URL.Path)
+		var req api.AnalyzeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(api.AnalyzeResponse{ //nolint:errcheck
+			AnalyzePayload: &api.AnalyzePayload{
+				Request:         req,
+				BaselineRunTime: 42,
+				ReplayIdentical: true,
+				Flagged:         []api.FlaggedLock{{ID: 7, Variant: "lock=queue", WaitDrop: 0.9}},
+			},
+			Served: "run",
+		})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastCfg())
+	resp, err := c.Analyze(context.Background(), api.AnalyzeRequest{Bench: "Qsort", Lock: "tts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath.Load() != "/v1/analyze" {
+		t.Fatalf("path = %v, want /v1/analyze", gotPath.Load())
+	}
+	if resp.BaselineRunTime != 42 || !resp.ReplayIdentical || len(resp.Flagged) != 1 {
+		t.Fatalf("payload = %+v", resp.AnalyzePayload)
+	}
+	if resp.Request.Bench != "Qsort" {
+		t.Fatal("request not echoed")
+	}
+}

@@ -41,6 +41,17 @@ type Task struct {
 	// IdealOnly skips simulation: the task only generates the trace and
 	// computes ideal statistics (the paper's Tables 1-2 need no machine).
 	IdealOnly bool
+	// Stream pipes generation straight into the simulator through a
+	// bounded ring instead of materialising the trace: memory stays
+	// O(StreamBudget) instead of O(trace). The trace cache is bypassed
+	// (CacheStats.Bypassed), no ideal statistics are computed (Ideal is
+	// the zero Summary — AnalyzeIdeal would consume the stream), and the
+	// machine falls back to the serial calendar scheduler. Incompatible
+	// with IdealOnly.
+	Stream bool
+	// StreamBudget is the ring's total event budget across CPUs when
+	// streaming; 0 selects workload.DefaultStreamBudget.
+	StreamBudget int
 	// Metrics enables the per-task RunReport in the result.
 	Metrics bool
 }
@@ -239,6 +250,9 @@ func (e *Engine) runTask(ctx context.Context, t *Task, tm taskMetrics) (TaskResu
 	if e.chaos.Should(chaos.WorkerPanic) {
 		panic(fmt.Sprintf("chaos: injected worker panic (%s/%s)", t.Program.Name(), t.Label))
 	}
+	if t.Stream {
+		return e.runStreamTask(ctx, t, tm)
+	}
 	wallStart := time.Now()
 	set, ideal, info, err := e.cache.Get(ctx, t.Program, t.Params, e.progressf)
 	if err == nil && e.chaos.Should(chaos.DecodeFault) {
@@ -286,6 +300,50 @@ func (e *Engine) runTask(ctx context.Context, t *Task, tm taskMetrics) (TaskResu
 		}
 		if info.Hit {
 			out.Report.CacheHits = 1
+		}
+	}
+	return out, nil
+}
+
+// runStreamTask is the streaming variant of runTask: generation and
+// simulation run concurrently, coupled by a bounded ring. Nothing is
+// cached and no ideal analysis happens — the events exist only in flight.
+func (e *Engine) runStreamTask(ctx context.Context, t *Task, tm taskMetrics) (TaskResult, error) {
+	if t.IdealOnly {
+		return TaskResult{}, fmt.Errorf("engine: %s/%s: Stream and IdealOnly are mutually exclusive", t.Program.Name(), t.Label)
+	}
+	e.cache.NoteBypass()
+	e.progressf("%s: streaming %s", t.Program.Name(), t.Label)
+	wallStart := time.Now()
+	set, h, err := workload.StreamTraces(t.Program, t.Params, t.StreamBudget)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	res, simErr := machine.RunCtx(ctx, set, t.Config)
+	if simErr != nil {
+		h.Abort()
+		return TaskResult{}, simErr
+	}
+	// A generation failure truncates the stream: the machine then finishes
+	// "successfully" over a partial trace, so the producer's error must
+	// override the simulation result.
+	if err := h.Wait(); err != nil {
+		return TaskResult{}, fmt.Errorf("engine: generate %s: %w", t.Program.Name(), err)
+	}
+	simWall := time.Since(wallStart)
+	tm.simulate.Observe(simWall)
+	tm.cycles.Add(int64(res.RunTime))
+	tm.iters.Add(int64(res.Sched.Iterations))
+	tm.steps.Add(int64(res.Sched.Steps))
+	out := TaskResult{Result: res}
+	if t.Metrics {
+		out.Report = metrics.RunReport{
+			Simulate:   simWall,
+			Wall:       time.Since(wallStart),
+			Runs:       1,
+			SimCycles:  res.RunTime,
+			SchedIters: res.Sched.Iterations,
+			SchedSteps: res.Sched.Steps,
 		}
 	}
 	return out, nil

@@ -75,6 +75,12 @@ type lockState struct {
 	transfers  uint64
 	holdCycles uint64
 
+	// Per-lock contention detail, mirroring the aggregate Stats fields so
+	// the what-if replay service can diff contention lock by lock.
+	waitersAtTransfer  uint64
+	transferWaitCycles uint64
+	transferHoldCycles uint64
+
 	arrival map[int]uint64 // audit: waiter -> global arrival sequence
 }
 
@@ -217,6 +223,7 @@ func (m *Manager) acquire(ls *lockState, cpu int, now uint64, viaTransfer bool) 
 		m.stats.Transfers++
 		remaining := len(ls.waiters)
 		m.stats.WaitersAtTransfer += uint64(remaining)
+		ls.waitersAtTransfer += uint64(remaining)
 		h := remaining
 		if h >= len(m.stats.WaiterHistogram) {
 			h = len(m.stats.WaiterHistogram) - 1
@@ -224,6 +231,7 @@ func (m *Manager) acquire(ls *lockState, cpu int, now uint64, viaTransfer bool) 
 		m.stats.WaiterHistogram[h]++
 		if ls.freedValid && now >= ls.freedAt {
 			m.stats.TransferWaitCycles += now - ls.freedAt
+			ls.transferWaitCycles += now - ls.freedAt
 		}
 		ls.handoff = false
 	}
@@ -251,6 +259,7 @@ func (m *Manager) Release(cpu int, id uint32, now uint64) (next int, hasNext boo
 	// This release is a transfer: the hold time that just ended belongs
 	// to a transferring acquisition.
 	m.stats.TransferHoldCycles += hold
+	ls.transferHoldCycles += hold
 	ls.handoff = true
 	return ls.waiters[0], true
 }
@@ -323,15 +332,54 @@ func (m *Manager) AnyHeld() bool {
 func (m *Manager) PerLock() map[uint32]LockInfo {
 	out := make(map[uint32]LockInfo, len(m.locks))
 	for id, ls := range m.locks {
-		out[id] = LockInfo{Addr: ls.addr, Acquisitions: ls.acqs, Transfers: ls.transfers, HoldCycles: ls.holdCycles}
+		out[id] = LockInfo{
+			Addr:               ls.addr,
+			Acquisitions:       ls.acqs,
+			Transfers:          ls.transfers,
+			HoldCycles:         ls.holdCycles,
+			WaitersAtTransfer:  ls.waitersAtTransfer,
+			TransferWaitCycles: ls.transferWaitCycles,
+			TransferHoldCycles: ls.transferHoldCycles,
+		}
 	}
 	return out
 }
 
-// LockInfo summarises one lock's activity.
+// LockInfo summarises one lock's activity. The transfer fields are the
+// per-lock decomposition of the matching Stats aggregates: summed over all
+// locks they reproduce the program-wide numbers exactly.
 type LockInfo struct {
 	Addr         uint32
 	Acquisitions uint64
 	Transfers    uint64
 	HoldCycles   uint64 // completed acquisitions only
+
+	WaitersAtTransfer  uint64 // Σ waiters still queued after each transfer of this lock
+	TransferWaitCycles uint64 // Σ (acquire time − free time) per transfer of this lock
+	TransferHoldCycles uint64 // Σ hold time of this lock's transferring acquisitions
+}
+
+// AvgWaitersAtTransfer is the per-lock "Waiters at Transfer" metric.
+func (l LockInfo) AvgWaitersAtTransfer() float64 {
+	if l.Transfers == 0 {
+		return 0
+	}
+	return float64(l.WaitersAtTransfer) / float64(l.Transfers)
+}
+
+// AvgTransferWait is the per-lock mean transfer latency in cycles.
+func (l LockInfo) AvgTransferWait() float64 {
+	if l.Transfers == 0 {
+		return 0
+	}
+	return float64(l.TransferWaitCycles) / float64(l.Transfers)
+}
+
+// AvgTransferHold is the per-lock mean hold time of transferred
+// acquisitions in cycles.
+func (l LockInfo) AvgTransferHold() float64 {
+	if l.Transfers == 0 {
+		return 0
+	}
+	return float64(l.TransferHoldCycles) / float64(l.Transfers)
 }

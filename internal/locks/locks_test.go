@@ -340,3 +340,52 @@ func TestManagerInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The per-lock transfer fields must decompose the aggregate Stats exactly:
+// summed over all locks they reproduce the program-wide numbers.
+func TestPerLockTransferDecomposition(t *testing.T) {
+	m := NewManager()
+	// Lock 1: two transfers with a waiter left behind on the first.
+	m.Request(0, 1, 0x40, 0)
+	m.Request(1, 1, 0x40, 10)
+	m.Request(2, 1, 0x40, 20)
+	m.Release(0, 1, 100)
+	m.Grant(1, 1, 103)
+	m.Release(1, 1, 150)
+	m.Grant(2, 1, 151)
+	m.Release(2, 1, 200)
+	// Lock 2: one transfer.
+	m.Request(0, 2, 0x80, 0)
+	m.Request(1, 2, 0x80, 5)
+	m.Release(0, 2, 50)
+	m.Grant(1, 2, 54)
+	m.Release(1, 2, 90)
+
+	per := m.PerLock()
+	l1, l2 := per[1], per[2]
+	if l1.Transfers != 2 || l2.Transfers != 1 {
+		t.Fatalf("transfers = %d,%d; want 2,1", l1.Transfers, l2.Transfers)
+	}
+	if l1.WaitersAtTransfer != 1 || l2.WaitersAtTransfer != 0 {
+		t.Errorf("waiters at transfer = %d,%d; want 1,0", l1.WaitersAtTransfer, l2.WaitersAtTransfer)
+	}
+	if l1.TransferWaitCycles != 3+1 || l2.TransferWaitCycles != 4 {
+		t.Errorf("transfer wait = %d,%d; want 4,4", l1.TransferWaitCycles, l2.TransferWaitCycles)
+	}
+	st := m.Stats()
+	sum := LockInfo{}
+	for _, l := range per {
+		sum.WaitersAtTransfer += l.WaitersAtTransfer
+		sum.TransferWaitCycles += l.TransferWaitCycles
+		sum.TransferHoldCycles += l.TransferHoldCycles
+	}
+	if sum.WaitersAtTransfer != st.WaitersAtTransfer ||
+		sum.TransferWaitCycles != st.TransferWaitCycles ||
+		sum.TransferHoldCycles != st.TransferHoldCycles {
+		t.Fatalf("per-lock sums %+v do not reproduce aggregates (waiters %d, wait %d, hold %d)",
+			sum, st.WaitersAtTransfer, st.TransferWaitCycles, st.TransferHoldCycles)
+	}
+	if got := l1.AvgTransferWait(); got != 2 {
+		t.Errorf("lock 1 AvgTransferWait = %v, want 2", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package replay implements the what-if contention analysis behind
+// POST /v1/analyze: record a baseline run of one benchmark, replay the
+// bit-identical trace under perturbed lock algorithm, consistency model
+// and lock-word placement, and diff contention lock by lock. A lock whose
+// waiting essentially disappears under some perturbation is flagged: its
+// baseline contention is an artifact of that machine choice, not of the
+// program — the paper's central distinction between synchronization
+// behaviour inherent to the algorithm and behaviour imposed by the
+// implementation of its locks.
+//
+// Everything rests on determinism: trace generation is deterministic in
+// (workload, params), so every replay consumes the same events, and the
+// machine is deterministic in (trace, config), so per-lock deltas are
+// exact — no sampling noise, no confidence intervals. The analyzer proves
+// that property on every job by re-running the baseline from a fresh clone
+// and asserting bit-identical results (AnalyzePayload.ReplayIdentical).
+package replay
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"syncsim/internal/api"
+	"syncsim/internal/engine"
+	"syncsim/internal/locks"
+	"syncsim/internal/machine"
+	"syncsim/internal/trace"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/addr"
+)
+
+// DefaultThreshold is the relative contention drop at which a lock is
+// flagged when the request does not set one.
+const DefaultThreshold = 0.5
+
+// minTransfers keeps noise out of the flag list: a lock transferred fewer
+// times than this in the baseline has too little contention to call its
+// disappearance meaningful.
+const minTransfers = 4
+
+// Job is one analysis: a benchmark under a baseline machine, plus the
+// perturbations to replay. The server builds it from a validated
+// AnalyzeRequest; cmd/analyze builds it directly.
+type Job struct {
+	Prog   workload.Program
+	Params workload.Params
+	// Config is the baseline machine; its Lock and Consistency are what
+	// the perturbations vary around.
+	Config machine.Config
+	// Request is the canonicalised request, echoed in the payload. Its
+	// Perturb and Threshold fields select the variants and the flag rule.
+	Request api.AnalyzeRequest
+	// Cache supplies trace clones; every run replays the same generation.
+	Cache *engine.TraceCache
+	// Progress, when non-nil, receives one line per replay.
+	Progress func(format string, args ...any)
+}
+
+// Analyze runs the baseline (twice — the second run pins determinism),
+// replays every selected perturbation, and assembles the wire payload.
+func Analyze(ctx context.Context, j Job) (*api.AnalyzePayload, error) {
+	threshold := j.Request.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	run := func(label string, cfg machine.Config, transform func(*trace.Set) *trace.Set) (*machine.Result, error) {
+		if j.Progress != nil {
+			j.Progress("%s: replaying %s", j.Prog.Name(), label)
+		}
+		set, _, _, err := j.Cache.Get(ctx, j.Prog, j.Params, j.Progress)
+		if err != nil {
+			return nil, err
+		}
+		if transform != nil {
+			set = transform(set)
+		}
+		return machine.RunCtx(ctx, set, cfg)
+	}
+
+	base, err := run("baseline", j.Config, nil)
+	if err != nil {
+		return nil, err
+	}
+	rerun, err := run("baseline (replay check)", j.Config, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	payload := &api.AnalyzePayload{
+		Request:         j.Request,
+		BaselineRunTime: base.RunTime,
+		BaselineLocks:   contentionProfile(base),
+		ReplayIdentical: reflect.DeepEqual(base, rerun),
+	}
+
+	for _, v := range variants(j.Config, j.Request.Perturb) {
+		res, err := run(v.name, v.cfg, v.transform)
+		if err != nil {
+			return nil, fmt.Errorf("replay %s: %w", v.name, err)
+		}
+		pr := api.PerturbationResult{
+			Kind:    v.kind,
+			Name:    v.name,
+			RunTime: res.RunTime,
+			Locks:   diffLocks(base, res, threshold),
+		}
+		if res.RunTime > 0 {
+			pr.Speedup = float64(base.RunTime) / float64(res.RunTime)
+		}
+		for _, d := range pr.Locks {
+			if d.Flagged {
+				payload.Flagged = append(payload.Flagged, api.FlaggedLock{
+					ID:            d.Baseline.ID,
+					Variant:       v.name,
+					BaselineWait:  d.Baseline.AvgWait,
+					PerturbedWait: d.Perturbed.AvgWait,
+					WaitDrop:      d.WaitDrop,
+				})
+			}
+		}
+		payload.Perturbations = append(payload.Perturbations, pr)
+	}
+	sort.SliceStable(payload.Flagged, func(a, b int) bool {
+		return payload.Flagged[a].BaselineWait > payload.Flagged[b].BaselineWait
+	})
+	return payload, nil
+}
+
+// variant is one machine/trace perturbation to replay.
+type variant struct {
+	kind, name string
+	cfg        machine.Config
+	transform  func(*trace.Set) *trace.Set // nil = replay the trace as-is
+}
+
+// variants expands the requested perturbation kinds around the baseline
+// config. An empty selection means all kinds.
+func variants(base machine.Config, perturb []string) []variant {
+	want := func(kind string) bool {
+		if len(perturb) == 0 {
+			return true
+		}
+		for _, p := range perturb {
+			if p == kind {
+				return true
+			}
+		}
+		return false
+	}
+	var out []variant
+	if want(api.PerturbLock) {
+		for _, alg := range []locks.Algorithm{locks.Queue, locks.TTS, locks.QueueExact, locks.TTSBackoff} {
+			if alg == base.Lock {
+				continue
+			}
+			cfg := base
+			cfg.Lock = alg
+			out = append(out, variant{kind: api.PerturbLock, name: "lock=" + alg.String(), cfg: cfg})
+		}
+	}
+	if want(api.PerturbCons) {
+		cfg := base
+		if base.Consistency == machine.SeqConsistent {
+			cfg.Consistency = machine.WeakOrdering
+		} else {
+			cfg.Consistency = machine.SeqConsistent
+		}
+		out = append(out, variant{kind: api.PerturbCons, name: "cons=" + cfg.Consistency.String(), cfg: cfg})
+	}
+	if want(api.PerturbPackLocks) {
+		out = append(out, variant{kind: api.PerturbPackLocks, name: api.PerturbPackLocks, cfg: base, transform: packLocks})
+	}
+	return out
+}
+
+// packLocks rewrites every lock and unlock event's lock-word address from
+// the one-line-per-lock layout to the packed four-per-line layout, leaving
+// lock identities (and all data references) untouched. The per-lock diff
+// keys on lock id, so the profiles stay comparable.
+func packLocks(set *trace.Set) *trace.Set {
+	return trace.MapSet(set, func(ev trace.Event) trace.Event {
+		if ev.Kind == trace.KindLock || ev.Kind == trace.KindUnlock {
+			ev.Addr = addr.PackedLock(ev.Arg)
+		}
+		return ev
+	})
+}
+
+// contentionProfile extracts a run's per-lock contention, ordered by id.
+func contentionProfile(res *machine.Result) []api.LockContention {
+	ids := make([]uint32, 0, len(res.LockDetails))
+	for id := range res.LockDetails {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := make([]api.LockContention, len(ids))
+	for i, id := range ids {
+		out[i] = contentionOf(id, res.LockDetails[id])
+	}
+	return out
+}
+
+func contentionOf(id uint32, l locks.LockInfo) api.LockContention {
+	return api.LockContention{
+		ID:           id,
+		Addr:         l.Addr,
+		Acquisitions: l.Acquisitions,
+		Transfers:    l.Transfers,
+		AvgWaiters:   l.AvgWaitersAtTransfer(),
+		AvgWait:      l.AvgTransferWait(),
+		AvgHold:      l.AvgTransferHold(),
+		HoldCycles:   l.HoldCycles,
+	}
+}
+
+// diffLocks compares every baseline lock against the perturbed run,
+// flagging those whose contention drop clears the threshold. Locks keyed
+// by id: identities survive every perturbation, including the address
+// rewrite of pack-locks.
+func diffLocks(base, pert *machine.Result, threshold float64) []api.LockDelta {
+	ids := make([]uint32, 0, len(base.LockDetails))
+	for id := range base.LockDetails {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := make([]api.LockDelta, len(ids))
+	for i, id := range ids {
+		b := contentionOf(id, base.LockDetails[id])
+		p := contentionOf(id, pert.LockDetails[id])
+		d := api.LockDelta{
+			Baseline:    b,
+			Perturbed:   p,
+			WaitDrop:    relDrop(b.AvgWait, p.AvgWait),
+			WaitersDrop: relDrop(b.AvgWaiters, p.AvgWaiters),
+		}
+		d.Flagged = b.Transfers >= minTransfers && b.AvgWait > 0 &&
+			(d.WaitDrop >= threshold || d.WaitersDrop >= threshold)
+		out[i] = d
+	}
+	return out
+}
+
+// relDrop returns (base−perturbed)/base: 1 = vanished, negative = grew.
+func relDrop(base, pert float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - pert) / base
+}

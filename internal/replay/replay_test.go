@@ -1,0 +1,85 @@
+package replay
+
+import (
+	"context"
+	"testing"
+
+	"syncsim/internal/api"
+	"syncsim/internal/engine"
+	"syncsim/internal/locks"
+	"syncsim/internal/machine"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/qsort"
+)
+
+// Qsort under test&test&set is the paper's canonical unnecessary-contention
+// case: transfer latency is tens of cycles under TTS and ~1 cycle under
+// queuing locks for the identical trace. The analyzer must flag the sorted-
+// stack lock under the lock=queue perturbation, and the determinism check
+// must pass.
+func TestAnalyzeFlagsTTSQsort(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Lock = locks.TTS
+	job := Job{
+		Prog:   qsort.New(),
+		Params: workload.Params{NCPU: 8, Scale: 0.05, Seed: 1},
+		Config: cfg,
+		Request: api.AnalyzeRequest{
+			Bench: "Qsort", Scale: 0.05, NCPU: 8, Seed: 1, Lock: "tts", Cons: "sc",
+		},
+		Cache: engine.NewTraceCache(),
+	}
+	payload, err := Analyze(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !payload.ReplayIdentical {
+		t.Fatal("baseline replay was not bit-identical")
+	}
+	if len(payload.BaselineLocks) == 0 {
+		t.Fatal("no per-lock baseline profile")
+	}
+	if len(payload.Perturbations) != 3+1+1 {
+		t.Fatalf("perturbations = %d, want 5 (3 lock algs + cons + pack-locks)", len(payload.Perturbations))
+	}
+	var queueFlag *api.FlaggedLock
+	for i := range payload.Flagged {
+		if payload.Flagged[i].Variant == "lock=queue" {
+			queueFlag = &payload.Flagged[i]
+			break
+		}
+	}
+	if queueFlag == nil {
+		t.Fatalf("no lock flagged under lock=queue; flagged = %+v, baseline = %+v",
+			payload.Flagged, payload.BaselineLocks)
+	}
+	if queueFlag.WaitDrop < DefaultThreshold {
+		t.Fatalf("flagged drop %v below threshold", queueFlag.WaitDrop)
+	}
+	if queueFlag.BaselineWait <= queueFlag.PerturbedWait {
+		t.Fatalf("flag with no actual improvement: %v → %v", queueFlag.BaselineWait, queueFlag.PerturbedWait)
+	}
+}
+
+// A perturbation subset must replay only the requested kinds.
+func TestAnalyzePerturbSubset(t *testing.T) {
+	job := Job{
+		Prog:   qsort.New(),
+		Params: workload.Params{NCPU: 4, Scale: 0.02, Seed: 2},
+		Config: machine.DefaultConfig(),
+		Request: api.AnalyzeRequest{
+			Bench: "Qsort", Perturb: []string{api.PerturbCons},
+		},
+		Cache: engine.NewTraceCache(),
+	}
+	payload, err := Analyze(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Perturbations) != 1 || payload.Perturbations[0].Kind != api.PerturbCons {
+		t.Fatalf("perturbations = %+v, want exactly one cons variant", payload.Perturbations)
+	}
+	if payload.Perturbations[0].Name != "cons=wo" {
+		t.Fatalf("cons variant = %q, want cons=wo around the sc baseline", payload.Perturbations[0].Name)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"syncsim/internal/core"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
+	"syncsim/internal/replay"
 	"syncsim/internal/workload/suite"
 )
 
@@ -36,6 +37,10 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		// Sourced from the machine's own registry so the advertised set
 		// cannot drift from what normalizeSim accepts.
 		Schedulers: machine.SchedulerNames(),
+		Analyze: &api.AnalyzeCapability{
+			Perturbations:    api.Perturbations(),
+			DefaultThreshold: replay.DefaultThreshold,
+		},
 	}
 	for _, b := range suite.All() {
 		resp.Benchmarks = append(resp.Benchmarks, api.BenchmarkInfo{

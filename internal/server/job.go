@@ -9,6 +9,7 @@ import (
 	"syncsim/internal/engine"
 	"syncsim/internal/locks"
 	"syncsim/internal/machine"
+	"syncsim/internal/replay"
 	"syncsim/internal/workload"
 	"syncsim/internal/workload/suite"
 )
@@ -147,6 +148,84 @@ func (j simJob) task() engine.Task {
 		Config:  j.cfg,
 		Metrics: true,
 	}
+}
+
+// analyzeJob is a validated, canonicalised AnalyzeRequest ready to run.
+type analyzeJob struct {
+	req    api.AnalyzeRequest
+	prog   workload.Program
+	params workload.Params
+	cfg    machine.Config
+	key    string
+}
+
+// normalizeAnalyze validates a what-if request and resolves it to a
+// runnable job. The baseline machine reuses the sim request grammar (lock,
+// cons) with the sim defaults; the perturbation list is canonicalised into
+// the analyzer's application order.
+func normalizeAnalyze(req api.AnalyzeRequest) (analyzeJob, error) {
+	sim, err := normalizeSim(SimRequest{
+		Bench: req.Bench, Scale: req.Scale, NCPU: req.NCPU, Seed: req.Seed,
+		Lock: req.Lock, Cons: req.Cons,
+	})
+	if err != nil {
+		return analyzeJob{}, err
+	}
+	req.Bench, req.Scale, req.NCPU = sim.req.Bench, sim.req.Scale, sim.req.NCPU
+	req.Lock, req.Cons = sim.req.Lock, sim.req.Cons
+
+	if req.Threshold < 0 || req.Threshold > 1 {
+		return analyzeJob{}, fmt.Errorf("threshold %v outside [0, 1] (0 = service default)", req.Threshold)
+	}
+	valid := map[string]bool{}
+	for _, p := range api.Perturbations() {
+		valid[p] = true
+	}
+	seen := map[string]bool{}
+	var perturb []string
+	for _, p := range req.Perturb {
+		if !valid[p] {
+			return analyzeJob{}, fmt.Errorf("unknown perturbation %q (want %s)",
+				p, strings.Join(api.Perturbations(), ", "))
+		}
+		if !seen[p] {
+			seen[p] = true
+			perturb = append(perturb, p)
+		}
+	}
+	// Canonical order so equivalent spellings coalesce onto one flight.
+	if perturb != nil {
+		ordered := perturb[:0]
+		for _, p := range api.Perturbations() {
+			if seen[p] {
+				ordered = append(ordered, p)
+			}
+		}
+		perturb = ordered
+	}
+	req.Perturb = perturb
+
+	return analyzeJob{
+		req:    req,
+		prog:   sim.prog,
+		params: sim.params,
+		cfg:    sim.cfg,
+		key: fmt.Sprintf("analyze|%s|%d|%g|%d|%s|%s|%s|%g",
+			req.Bench, req.NCPU, req.Scale, req.Seed, req.Lock, req.Cons,
+			strings.Join(req.Perturb, ","), req.Threshold),
+	}, nil
+}
+
+// AnalyzeJobForRequest resolves an AnalyzeRequest to the exact replay.Job
+// the service would run for it, minus the cache (the caller supplies one).
+// cmd/analyze's local mode uses it so in-process and remote analyses apply
+// identical normalisation.
+func AnalyzeJobForRequest(req api.AnalyzeRequest) (replay.Job, error) {
+	job, err := normalizeAnalyze(req)
+	if err != nil {
+		return replay.Job{}, err
+	}
+	return replay.Job{Prog: job.prog, Params: job.params, Config: job.cfg, Request: job.req}, nil
 }
 
 // sweepJob is a validated SweepRequest.

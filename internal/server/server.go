@@ -35,12 +35,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"syncsim/internal/api"
 	"syncsim/internal/chaos"
 	"syncsim/internal/core"
 	"syncsim/internal/engine"
 	"syncsim/internal/machine"
 	"syncsim/internal/metrics"
 	"syncsim/internal/predict"
+	"syncsim/internal/replay"
 )
 
 // Config parameterises a Server. Zero values select production defaults.
@@ -195,6 +197,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/sim", s.handleSim)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", metrics.Handler(s.reg, s.gauges))
@@ -444,6 +447,78 @@ func (s *Server) runSim(ctx context.Context, job simJob) (*SimPayload, error) {
 	p := &SimPayload{Request: job.req, Ideal: tr.Ideal, Result: tr.Result, Report: tr.Report}
 	s.results.put(job.key, p)
 	return p, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admitJobRequest(w, r)
+	if !ok {
+		return
+	}
+	defer done()
+
+	var req api.AnalyzeRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r, fmt.Errorf("%w: %w", errBadRequest, err))
+		return
+	}
+	job, err := normalizeAnalyze(req)
+	if err != nil {
+		s.writeError(w, r, fmt.Errorf("%w: %w", errBadRequest, err))
+		return
+	}
+
+	if p, ok := s.results.get(job.key); ok {
+		s.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, api.AnalyzeResponse{AnalyzePayload: p.(*api.AnalyzePayload), Served: "cache"})
+		return
+	}
+	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
+		func(jobCtx context.Context) (any, error) { return s.runAnalyze(jobCtx, job) })
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	served := "run"
+	if shared {
+		served = "coalesced"
+		s.coalesced.Inc()
+	}
+	writeJSON(w, http.StatusOK, api.AnalyzeResponse{AnalyzePayload: val.(*api.AnalyzePayload), Served: served})
+}
+
+// runAnalyze executes one validated what-if job: a baseline run, a
+// determinism re-run, and one replay per perturbation, all against clones
+// of one cached trace. The whole bundle occupies a single worker slot —
+// it is one job from admission's point of view, like a sweep.
+func (s *Server) runAnalyze(ctx context.Context, job analyzeJob) (*api.AnalyzePayload, error) {
+	if s.chaos.Should(chaos.QueueFull) {
+		return nil, errBusy
+	}
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	s.accepted.Inc()
+	s.chaos.Sleep(ctx)
+	ctx, stopStorm := s.chaos.WrapCancel(ctx)
+	defer stopStorm()
+	wctx, stopWatch := s.watchJob(ctx)
+	defer stopWatch()
+
+	payload, err := replay.Analyze(wctx, replay.Job{
+		Prog:    job.prog,
+		Params:  job.params,
+		Config:  job.cfg,
+		Request: job.req,
+		Cache:   s.traceCache,
+	})
+	if err != nil {
+		s.failed.Inc()
+		return nil, resolveWedged(wctx, err)
+	}
+	s.completed.Inc()
+	s.results.put(job.key, payload)
+	return payload, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRingSetStreamsInOrder(t *testing.T) {
+	const ncpu, perCPU = 3, 500
+	r := NewRingSet("prog", ncpu, 64)
+	want := make([][]Event, ncpu)
+	for cpu := 0; cpu < ncpu; cpu++ {
+		for i := 0; i < perCPU; i++ {
+			want[cpu] = append(want[cpu], Exec(uint32(cpu*perCPU+i+1)))
+		}
+	}
+
+	set := r.Set()
+	if set.NCPU() != ncpu {
+		t.Fatalf("NCPU = %d, want %d", set.NCPU(), ncpu)
+	}
+	// One consumer goroutine interleaving the CPUs, like the machine's
+	// single simulation loop.
+	var wg sync.WaitGroup
+	got := make([][]Event, ncpu)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		live := ncpu
+		for live > 0 {
+			live = 0
+			for cpu := 0; cpu < ncpu; cpu++ {
+				if ev, ok := set.Sources[cpu].Next(); ok {
+					got[cpu] = append(got[cpu], ev)
+					live++
+				}
+			}
+		}
+	}()
+	// Producer: round-robin across CPUs, as a virtual-time coordinator
+	// would, against the 64-event budget.
+	for i := 0; i < perCPU; i++ {
+		for cpu := 0; cpu < ncpu; cpu++ {
+			r.Add(cpu, want[cpu][i])
+		}
+	}
+	r.Close(nil)
+	wg.Wait()
+
+	for cpu := range want {
+		if !reflect.DeepEqual(got[cpu], want[cpu]) {
+			t.Fatalf("cpu %d: got %d events, want %d (order or content differ)",
+				cpu, len(got[cpu]), len(want[cpu]))
+		}
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v, want nil", r.Err())
+	}
+	if r.MaxBuffered() > r.Budget()+2*ncpu {
+		t.Fatalf("MaxBuffered = %d, want ≤ budget %d + small skew", r.MaxBuffered(), r.Budget())
+	}
+}
+
+// The backpressure override: a producer parked on the budget must spill
+// when a consumer is starved on another CPU, or producer and consumer
+// would deadlock waiting on each other.
+func TestRingSetStarvationOverride(t *testing.T) {
+	r := NewRingSet("prog", 2, 4)
+	set := r.Set()
+
+	fed := make(chan Event)
+	go func() {
+		// Consumer for CPU 1 only; CPU 0's queue is never drained.
+		ev, ok := set.Sources[1].Next()
+		if ok {
+			fed <- ev
+		}
+		close(fed)
+	}()
+
+	// Fill the budget entirely with CPU 0 events, then emit the CPU 1
+	// event the consumer is starving for. Without the override this Add
+	// blocks forever and the test times out.
+	for i := 0; i < 4; i++ {
+		r.Add(0, Exec(uint32(i+1)))
+	}
+	r.Add(1, Exec(99))
+	if ev := <-fed; ev != Exec(99) {
+		t.Fatalf("starved consumer got %v, want Exec(99)", ev)
+	}
+	r.Close(nil)
+}
+
+func TestRingSetCloseWithError(t *testing.T) {
+	sentinel := errors.New("generator failed")
+	r := NewRingSet("prog", 1, 8)
+	src := r.Set().Sources[0]
+	r.Add(0, Exec(1))
+	r.Close(sentinel)
+
+	// Buffered events still drain, then the stream ends.
+	if got := Drain(src); !reflect.DeepEqual(got, []Event{Exec(1)}) {
+		t.Fatalf("Drain = %v, want the buffered event", got)
+	}
+	if !errors.Is(r.Err(), sentinel) {
+		t.Fatalf("Err = %v, want %v", r.Err(), sentinel)
+	}
+}
+
+func TestRingSetAbortPoisonsProducer(t *testing.T) {
+	r := NewRingSet("prog", 1, 2)
+	src := r.Set().Sources[0]
+
+	blocked := make(chan any, 1)
+	go func() {
+		defer func() { blocked <- recover() }()
+		for i := 0; ; i++ {
+			r.Add(0, Exec(uint32(i+1))) // blocks at the budget, then panics on Abort
+		}
+	}()
+
+	// Consume one event so the producer is definitely live, then abort.
+	if _, ok := src.Next(); !ok {
+		t.Fatal("source ended before abort")
+	}
+	r.Abort()
+	if v := <-blocked; v != ErrStreamAborted {
+		t.Fatalf("producer panic = %v, want ErrStreamAborted", v)
+	}
+	// The consumer side sees end-of-stream, not a hang.
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if !errors.Is(r.Err(), ErrStreamAborted) {
+		t.Fatalf("Err = %v, want ErrStreamAborted", r.Err())
+	}
+}

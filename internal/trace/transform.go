@@ -1,0 +1,68 @@
+package trace
+
+// Map returns a Source that applies fn to every event src yields. fn must
+// be pure (the same event always maps to the same event): replay
+// capabilities are forwarded, so a mapped replayable source may be
+// rewound, cloned, marked and sought, and each replay must produce the
+// same stream. The what-if replay layer uses Map to rewrite lock
+// placements on a recorded trace without touching the recording.
+func Map(src Source, fn func(Event) Event) Source {
+	m := &mapped{src: src, fn: fn}
+	type replayable interface {
+		Marker
+		Rewinder
+		Cloner
+		Len() int
+	}
+	if _, ok := src.(replayable); ok {
+		return &mappedReplay{mapped: m}
+	}
+	return m
+}
+
+// MapSet applies Map to every source of a set, returning a new set over
+// the same underlying traces.
+func MapSet(set *Set, fn func(Event) Event) *Set {
+	out := &Set{Name: set.Name, Sources: make([]Source, len(set.Sources))}
+	for i, src := range set.Sources {
+		out.Sources[i] = Map(src, fn)
+	}
+	return out
+}
+
+type mapped struct {
+	src Source
+	fn  func(Event) Event
+}
+
+// Next implements Source.
+func (m *mapped) Next() (Event, bool) {
+	ev, ok := m.src.Next()
+	if !ok {
+		return Event{}, false
+	}
+	return m.fn(ev), true
+}
+
+// mappedReplay forwards the full replay capability set of the underlying
+// source; the pure fn makes every replay deterministic.
+type mappedReplay struct {
+	*mapped
+}
+
+// Len returns the underlying source's event count (Map is 1:1).
+func (m *mappedReplay) Len() int { return m.src.(interface{ Len() int }).Len() }
+
+// Rewind implements Rewinder.
+func (m *mappedReplay) Rewind() { m.src.(Rewinder).Rewind() }
+
+// CloneSource implements Cloner.
+func (m *mappedReplay) CloneSource() Source {
+	return Map(m.src.(Cloner).CloneSource(), m.fn)
+}
+
+// Mark implements Marker.
+func (m *mappedReplay) Mark() Mark { return m.src.(Marker).Mark() }
+
+// Seek implements Marker.
+func (m *mappedReplay) Seek(mk Mark) { m.src.(Marker).Seek(mk) }

@@ -105,7 +105,7 @@ func (fc *FullConn) Generate(p workload.Params) (*trace.Set, error) {
 		sim.nextMsgID++
 	}
 
-	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	coord := workload.NewCoordinatorFor(p)
 	for _, g := range coord.Gens {
 		g.SetCPI(3, 5) // FullConn ran at ~4 cycles per instruction
 	}

@@ -254,7 +254,7 @@ func (gr *Grav) Generate(p workload.Params) (*trace.Set, error) {
 		return nil, err
 	}
 	n := workload.ScaleInt(gr.Bodies, p.Scale, 4*p.NCPU)
-	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	coord := workload.NewCoordinatorFor(p)
 	cfg := presto.DefaultConfig()
 	// Grav's Presto scheduler sections, sized for the ~200-cycle average
 	// hold and ~40% locked time of Table 2.

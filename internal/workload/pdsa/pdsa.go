@@ -188,7 +188,7 @@ func (pd *Pdsa) Generate(p workload.Params) (*trace.Set, error) {
 		}
 	}
 
-	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	coord := workload.NewCoordinatorFor(p)
 	for _, g := range coord.Gens {
 		g.SetCPI(2, 2) // Pdsa's trace runs at ~2 cycles per instruction
 	}

@@ -148,7 +148,7 @@ func (pv *Pverify) Generate(p workload.Params) (*trace.Set, error) {
 	ckt1 := newCircuit(pv.Gates, 64, rng)
 	ckt2 := newCircuit(pv.Gates, 64, rng) // the "re-implementation"
 
-	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	coord := workload.NewCoordinatorFor(p)
 
 	// Each processor claims the next output from a shared counter under a
 	// short lock — this hot-but-brief lock is where Pverify's rare

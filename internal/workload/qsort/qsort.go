@@ -238,7 +238,7 @@ func (q *Qsort) Generate(p workload.Params) (*trace.Set, error) {
 	}
 	s.queue = append(s.queue, segment{0, n})
 
-	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	coord := workload.NewCoordinatorFor(p)
 	// Work loop: each processor (chosen by virtual time, as the idle
 	// processor would win the real race to the queue) pops, partitions,
 	// pushes halves or finishes locally.

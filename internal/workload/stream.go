@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+
+	"syncsim/internal/trace"
+)
+
+// DefaultStreamBudget is the ring's total event budget across CPUs when the
+// caller passes 0: large enough that chunked producers rarely block, small
+// enough that a scale-1 run stays in a few megabytes.
+const DefaultStreamBudget = 1 << 16
+
+// sinkChunk is how many events a ringSink batches locally before taking the
+// ring lock once; it bounds per-event synchronisation cost.
+const sinkChunk = 256
+
+// streamPlan carries the ring from StreamTraces to the coordinator the
+// benchmark builds. It travels inside Params (unexported) so the six
+// benchmark kernels need no signature change — only the coordinator
+// constructor differs.
+type streamPlan struct {
+	ring  *trace.RingSet
+	sinks []*ringSink
+	bound bool // a coordinator picked the plan up
+}
+
+// bind rewires every generator of c into the plan's ring.
+func (pl *streamPlan) bind(c *Coordinator) {
+	pl.bound = true
+	pl.sinks = make([]*ringSink, len(c.Gens))
+	c.stream = pl
+	for i, g := range c.Gens {
+		s := &ringSink{ring: pl.ring, cpu: i}
+		pl.sinks[i] = s
+		g.out = s
+	}
+}
+
+// flush pushes every sink's partial chunk into the ring.
+func (pl *streamPlan) flush() {
+	for _, s := range pl.sinks {
+		s.flush()
+	}
+}
+
+// ringSink adapts one generator to the ring: events accumulate in a local
+// chunk and flush in one lock acquisition, so the generator's hot loop
+// never contends per event.
+type ringSink struct {
+	ring    *trace.RingSet
+	cpu     int
+	chunk   []Event
+	emitted int
+}
+
+// Event aliases trace.Event so the chunk declaration reads naturally.
+type Event = trace.Event
+
+// Add implements sink.
+func (s *ringSink) Add(ev trace.Event) {
+	if s.chunk == nil {
+		s.chunk = make([]Event, 0, sinkChunk)
+	}
+	s.chunk = append(s.chunk, ev)
+	s.emitted++
+	if len(s.chunk) >= sinkChunk {
+		s.flush()
+	}
+}
+
+// Len implements sink: the number of events emitted so far (buffered or
+// already in the ring).
+func (s *ringSink) Len() int { return s.emitted }
+
+func (s *ringSink) flush() {
+	if len(s.chunk) == 0 {
+		return
+	}
+	s.ring.AddChunk(s.cpu, s.chunk)
+	s.chunk = s.chunk[:0]
+}
+
+// StreamHandle is the producer side of a streaming run. The consumer runs
+// the simulation against the returned set, then must either Wait (after a
+// complete run) or Abort (on early exit) — leaking a handle leaks a parked
+// generator goroutine.
+type StreamHandle struct {
+	ring *trace.RingSet
+	done chan error
+}
+
+// Wait blocks until the generator goroutine finishes and returns its error.
+// Call it after the simulation drained the trace; a generation failure
+// surfaces here even though the machine only saw a truncated stream.
+func (h *StreamHandle) Wait() error {
+	err := <-h.done
+	h.done <- err // idempotent: later Waits see the same result
+	return err
+}
+
+// Abort tells the producer to stop (its next emission panics with
+// trace.ErrStreamAborted, which the driver swallows) and waits for it to
+// exit. Use it when the simulation fails before draining the trace.
+func (h *StreamHandle) Abort() {
+	h.ring.Abort()
+	h.Wait()
+}
+
+// MaxBuffered reports the ring's observed buffering high-water mark.
+func (h *StreamHandle) MaxBuffered() int { return h.ring.MaxBuffered() }
+
+// StreamTraces generates prog's trace through a bounded ring instead of
+// materialising it: the generator runs in its own goroutine and blocks when
+// it is more than budget events (0 = DefaultStreamBudget) ahead of the
+// consumer, so a scale-1 run executes in O(budget) memory instead of
+// O(trace). The event sequences are bit-identical to Generate's.
+//
+// The returned set's sources implement only trace.Source — no replay, no
+// cloning, no parallel scheduling, no caching. Run the machine over the set
+// once, then call Wait (or Abort on failure) on the handle.
+func StreamTraces(prog Program, p Params, budget int) (*trace.Set, *StreamHandle, error) {
+	p = p.WithDefaults(prog.DefaultNCPU())
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if budget <= 0 {
+		budget = DefaultStreamBudget
+	}
+	pl := &streamPlan{ring: trace.NewRingSet(prog.Name(), p.NCPU, budget)}
+	p.stream = pl
+	set := pl.ring.Set()
+
+	h := &StreamHandle{ring: pl.ring, done: make(chan error, 1)}
+	go func() {
+		var err error
+		defer func() {
+			if v := recover(); v != nil {
+				if v == trace.ErrStreamAborted {
+					err = trace.ErrStreamAborted // clean consumer abort
+				} else {
+					err = fmt.Errorf("workload %s: generator panic: %v", prog.Name(), v)
+				}
+			}
+			pl.ring.Close(err)
+			h.done <- err
+		}()
+		genSet, genErr := prog.Generate(p)
+		if genErr != nil {
+			err = genErr
+			return
+		}
+		if !pl.bound {
+			err = fmt.Errorf("workload %s: benchmark ignored the stream plan (uses NewCoordinator instead of NewCoordinatorFor)", prog.Name())
+			return
+		}
+		_ = genSet // the ring's consumer set was returned up front
+	}()
+	return set, h, nil
+}

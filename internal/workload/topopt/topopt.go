@@ -64,7 +64,7 @@ func (tp *Topopt) Generate(p workload.Params) (*trace.Set, error) {
 		return nil, err
 	}
 	moves := workload.ScaleInt(tp.MovesPerCPU, p.Scale, 16)
-	coord := workload.NewCoordinator(p.NCPU, p.Seed)
+	coord := workload.NewCoordinatorFor(p)
 
 	for cpuIdx, g := range coord.Gens {
 		if cpuIdx == tp.SlowCPU {

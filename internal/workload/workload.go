@@ -32,6 +32,11 @@ type Params struct {
 	Scale float64
 	// Seed makes generation deterministic. The default 0 is a valid seed.
 	Seed int64
+
+	// stream, when non-nil, redirects generation into a bounded streaming
+	// ring instead of materialised Compact traces. Only StreamTraces sets
+	// it; it is invisible to the wire (unexported) and to cache keys.
+	stream *streamPlan
 }
 
 // WithDefaults fills in zero fields.
@@ -79,12 +84,20 @@ type Gen struct {
 	VT uint64
 
 	tr      trace.Compact
+	out     sink // &tr by default; a ring sink when streaming
 	rng     *rand.Rand
 	pc      uint32
 	fn      uint32
 	held    int // locks currently held (for nesting sanity)
 	cpiMin  uint32
 	cpiSpan uint32
+}
+
+// sink receives a generator's event stream: the materialising Compact, or
+// a bounded ring writer when the run streams.
+type sink interface {
+	Add(trace.Event)
+	Len() int
 }
 
 // NewGen creates a generator for one processor.
@@ -95,6 +108,7 @@ func NewGen(cpu int, seed int64) *Gen {
 		cpiMin:  2,
 		cpiSpan: 2,
 	}
+	g.out = &g.tr
 	g.SetFunc(0)
 	return g
 }
@@ -138,7 +152,7 @@ func (g *Gen) nextPC() uint32 {
 func (g *Gen) Instr(n int) {
 	for i := 0; i < n; i++ {
 		cyc := g.instrCycles()
-		g.tr.Add(trace.IFetchAfter(cyc, g.nextPC()))
+		g.out.Add(trace.IFetchAfter(cyc, g.nextPC()))
 		g.VT += uint64(cyc)
 	}
 }
@@ -150,27 +164,27 @@ func (g *Gen) Exec(cycles uint32) {
 	if cycles == 0 {
 		return
 	}
-	g.tr.Add(trace.Exec(cycles))
+	g.out.Add(trace.Exec(cycles))
 	g.VT += uint64(cycles)
 }
 
 // Load emits one data-load instruction referencing a.
 func (g *Gen) Load(a uint32) {
 	cyc := g.instrCycles()
-	g.tr.Add(trace.ReadAfter(cyc, a))
+	g.out.Add(trace.ReadAfter(cyc, a))
 	g.VT += uint64(cyc)
 }
 
 // Store emits one data-store instruction referencing a.
 func (g *Gen) Store(a uint32) {
 	cyc := g.instrCycles()
-	g.tr.Add(trace.WriteAfter(cyc, a))
+	g.out.Add(trace.WriteAfter(cyc, a))
 	g.VT += uint64(cyc)
 }
 
 // Lock emits a lock acquisition of lock id.
 func (g *Gen) Lock(id uint32) {
-	g.tr.Add(trace.Lock(id, addr.Lock(id)))
+	g.out.Add(trace.Lock(id, addr.Lock(id)))
 	g.held++
 }
 
@@ -179,23 +193,25 @@ func (g *Gen) Unlock(id uint32) {
 	if g.held == 0 {
 		panic(fmt.Sprintf("workload: cpu %d unlock with no lock held", g.CPU))
 	}
-	g.tr.Add(trace.Unlock(id, addr.Lock(id)))
+	g.out.Add(trace.Unlock(id, addr.Lock(id)))
 	g.held--
 }
 
 // Barrier emits a barrier join.
 func (g *Gen) Barrier(id uint32) {
-	g.tr.Add(trace.Barrier(id))
+	g.out.Add(trace.Barrier(id))
 }
 
 // Events returns the number of events emitted so far.
-func (g *Gen) Events() int { return g.tr.Len() }
+func (g *Gen) Events() int { return g.out.Len() }
 
 // Coordinator interleaves work across processors by virtual time: Next
 // returns the processor that is furthest behind, which is exactly the
 // processor that would grab the next unit of work in the traced run.
 type Coordinator struct {
 	Gens []*Gen
+
+	stream *streamPlan // non-nil when generation streams into a ring
 }
 
 // NewCoordinator builds ncpu generators with related seeds.
@@ -203,6 +219,18 @@ func NewCoordinator(ncpu int, seed int64) *Coordinator {
 	c := &Coordinator{Gens: make([]*Gen, ncpu)}
 	for i := range c.Gens {
 		c.Gens[i] = NewGen(i, seed)
+	}
+	return c
+}
+
+// NewCoordinatorFor builds the coordinator for a full parameter set. It is
+// what benchmarks should call: when p carries a stream plan (set by
+// StreamTraces) the generators write into the plan's bounded ring instead
+// of materialising, with identical event sequences either way.
+func NewCoordinatorFor(p Params) *Coordinator {
+	c := NewCoordinator(p.NCPU, p.Seed)
+	if p.stream != nil {
+		p.stream.bind(c)
 	}
 	return c
 }
@@ -232,12 +260,22 @@ func (c *Coordinator) MaxVT() uint64 {
 
 // Set assembles the final trace set, checking that every generator
 // released all its locks (a leaked lock would deadlock the machine).
+//
+// For a streaming coordinator the events already went into the ring; the
+// returned set is the ring's consumer side, and the final partial chunks
+// are flushed here. The driver — not the benchmark — closes the ring.
 func (c *Coordinator) Set(name string) (*trace.Set, error) {
-	cpus := make([]*trace.Compact, len(c.Gens))
 	for i, g := range c.Gens {
 		if g.held != 0 {
 			return nil, fmt.Errorf("workload %s: cpu %d ends with %d locks held", name, i, g.held)
 		}
+	}
+	if c.stream != nil {
+		c.stream.flush()
+		return c.stream.ring.Set(), nil
+	}
+	cpus := make([]*trace.Compact, len(c.Gens))
+	for i, g := range c.Gens {
 		cpus[i] = &g.tr
 	}
 	return trace.CompactSet(name, cpus), nil
