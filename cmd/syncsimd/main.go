@@ -7,7 +7,7 @@
 //	syncsimd [-addr :8080] [-workers N] [-queue 64] [-timeout 2m]
 //	         [-result-cache 256] [-trace-cache 64] [-drain 30s]
 //	         [-stall-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
-//	         [-chaos spec] [-predict-model model.json]
+//	         [-store DIR] [-chaos spec] [-predict-model model.json]
 //
 // Endpoints:
 //
@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"syncsim/internal/chaos"
+	"syncsim/internal/fleet/store"
 	"syncsim/internal/predict"
 	"syncsim/internal/server"
 )
@@ -67,6 +68,7 @@ func run(args []string, stderr io.Writer) error {
 	stall := fs.Duration("stall-timeout", 30*time.Second, "per-job watchdog: abort a job whose scheduler heartbeat stalls this long (negative disables)")
 	writeTimeout := fs.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout: hard cap on writing one response (0 = none)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: close keep-alive connections idle this long (0 = none)")
+	storeDir := fs.String("store", "", "shared L2 result-store directory (content-addressed; share it across a fleet's backends and coordinator)")
 	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "seed=1,panic=0.05,cancel=0.05,slow=0.1,queue=0.05,delay=5ms" or "all=0.05" (empty = off; NEVER enable in production)`)
 	predictModel := fs.String("predict-model", "", "fitted analytic model JSON (cmd/predict -calibrate output) enabling /v1/predict's fast path")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +90,16 @@ func run(args []string, stderr io.Writer) error {
 			len(model.Cells), model.Scales, 100*model.MaxErrBound())
 	}
 
+	var resultStore store.Store
+	if *storeDir != "" {
+		disk, err := store.OpenDisk(*storeDir)
+		if err != nil {
+			return err
+		}
+		resultStore = disk
+		fmt.Fprintf(stderr, "syncsimd: shared result store at %s\n", *storeDir)
+	}
+
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -97,6 +109,7 @@ func run(args []string, stderr io.Writer) error {
 		StallTimeout:    *stall,
 		Chaos:           plane,
 		Predict:         model,
+		Store:           resultStore,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

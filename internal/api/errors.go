@@ -27,6 +27,9 @@ const (
 	HeaderIncidentID = "X-Incident-Id"
 	// HeaderRetryAfter carries the adaptive delay-seconds backoff hint.
 	HeaderRetryAfter = "Retry-After"
+	// HeaderTenant names the calling tenant on a request. Optional; the
+	// server buckets per-tenant request counters on /metrics by it.
+	HeaderTenant = "X-Tenant"
 )
 
 // RetryableStatus reports whether another attempt at a request that failed

@@ -1,0 +1,46 @@
+package api
+
+// Fleet wire types: the status surface of syncsimfleet, the sharding
+// coordinator that fans sweep cells across N syncsimd backends. The
+// coordinator speaks the same /v1 job contract as a single backend (its
+// /v1/sweep answers are bit-identical to a single node's), plus GET
+// /v1/fleet/status described here.
+
+// FleetBackend is one backend's row in a fleet status response.
+type FleetBackend struct {
+	// URL is the backend's base URL as configured on the coordinator.
+	URL string `json:"url"`
+	// Healthy is the last health-probe verdict (GET /healthz).
+	Healthy bool `json:"healthy"`
+	// Circuit is the backend's circuit-breaker position: "closed",
+	// "open", or "half-open".
+	Circuit string `json:"circuit"`
+	// Routed counts cells whose ring-primary was this backend.
+	Routed uint64 `json:"routed"`
+	// Retried counts cell attempts re-sent to this backend after a
+	// retryable failure on the same backend was exhausted upstream of the
+	// client's own retry loop (i.e. ring-level retries landing here).
+	Retried uint64 `json:"retried"`
+	// FailedOver counts cells this backend served as a non-primary
+	// replica because an earlier backend in ring order failed.
+	FailedOver uint64 `json:"failed_over"`
+}
+
+// FleetStatusResponse is the body of GET /v1/fleet/status.
+type FleetStatusResponse struct {
+	// Backends holds one row per configured backend, in ring-member
+	// (sorted URL) order.
+	Backends []FleetBackend `json:"backends"`
+	// Replicas is the number of virtual nodes per backend on the hash
+	// ring.
+	Replicas int `json:"replicas"`
+	// Sweeps and Cells count jobs since boot: sweeps accepted, and the
+	// (benchmark × model-group × scale × seed) cells they fanned out.
+	Sweeps uint64 `json:"sweeps"`
+	Cells  uint64 `json:"cells"`
+	// CacheHits counts cells answered from the coordinator's own result
+	// cache (L1); StoreHits counts cells answered from the shared
+	// content-addressed store (L2) without touching a backend.
+	CacheHits uint64 `json:"cache_hits"`
+	StoreHits uint64 `json:"store_hits"`
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"reflect"
 	"strconv"
 	"strings"
 	"time"
@@ -56,6 +57,30 @@ func (e *APIError) Retryable() bool {
 // ErrBudgetExhausted wraps the last failure when the caller's context
 // deadline cannot fit another backoff sleep + attempt.
 var ErrBudgetExhausted = errors.New("client: context budget exhausted before retry")
+
+// ErrDecode marks a 2xx response whose body failed to decode. Decode
+// failures are terminal, never retried: the server answered — the bytes on
+// the wire are what they are, and replaying the request would at best
+// re-download the same malformed body (and at worst re-execute a job to
+// fetch an answer the client cannot read anyway). Test with errors.Is.
+var ErrDecode = errors.New("client: malformed response body")
+
+// tenantKey carries a tenant identity through a context (see WithTenant).
+type tenantKey struct{}
+
+// WithTenant returns a context that stamps every request made with it with
+// the X-Tenant header, attributing the call to a tenant in the service's
+// per-tenant /metrics counters. The fleet coordinator uses it to forward
+// the tenant of an incoming request to the backends it fans out to.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// tenantFrom extracts the tenant stamped by WithTenant, if any.
+func tenantFrom(ctx context.Context) (string, bool) {
+	t, ok := ctx.Value(tenantKey{}).(string)
+	return t, ok && t != ""
+}
 
 // Config parameterises a Client; zero values select production defaults.
 type Config struct {
@@ -203,6 +228,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			last = apiErr
 			continue
 		}
+		// A malformed 2xx body is terminal: the server answered, so another
+		// attempt would only re-fetch the same bytes (see ErrDecode).
+		if errors.Is(err, ErrDecode) {
+			return err
+		}
 		// Transport error: terminal if our context died, transient
 		// otherwise (connection reset, refused during restart, ...).
 		if ctx.Err() != nil {
@@ -215,7 +245,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 
 // once performs one attempt. A nil, nil return means success; a non-nil
 // *APIError is a classified server answer; a bare error is a transport
-// failure.
+// failure (or a terminal ErrDecode).
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (*APIError, error) {
 	var rd io.Reader
 	if body != nil {
@@ -228,6 +258,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tenant, ok := tenantFrom(ctx); ok {
+		req.Header.Set(api.HeaderTenant, tenant)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, err
@@ -237,17 +270,30 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
+	// Any 2xx is success — a future async 202 or a proxy's 204 is not a
+	// server error just because it is not exactly 200.
+	if resp.StatusCode/100 != 2 {
 		return &APIError{
 			Status:     resp.StatusCode,
 			Message:    strings.TrimSpace(string(raw)),
 			IncidentID: resp.Header.Get(api.HeaderIncidentID),
-			RetryAfter: parseRetryAfter(resp.Header.Get(api.HeaderRetryAfter)),
+			RetryAfter: parseRetryAfter(resp.Header.Get(api.HeaderRetryAfter), time.Now()),
 		}, nil
 	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		return nil, fmt.Errorf("client: decode response: %w", err)
+	if out == nil || len(bytes.TrimSpace(raw)) == 0 {
+		// Bodyless success (204, or a 202 acknowledgement): nothing to
+		// decode; out keeps its zero value.
+		return nil, nil
 	}
+	// Decode into a FRESH value and copy over only on success: unmarshal
+	// merges into existing fields, so decoding straight into out could leave
+	// a half-populated result behind (and a later attempt would then decode
+	// on top of that debris).
+	fresh := reflect.New(reflect.ValueOf(out).Elem().Type())
+	if err := json.Unmarshal(raw, fresh.Interface()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	reflect.ValueOf(out).Elem().Set(fresh.Elem())
 	return nil, nil
 }
 
@@ -296,15 +342,25 @@ func retryAfterOf(err error) time.Duration {
 	return 0
 }
 
-// parseRetryAfter reads a delay-seconds Retry-After value; HTTP-date
-// forms and garbage parse as 0 (no hint).
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After value in either RFC 9110 form:
+// delay-seconds, or an HTTP-date (which common proxies in front of a fleet
+// emit) resolved against now. Dates in the past and negative delays clamp
+// to 0; garbage parses as 0 (no hint).
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	sec, err := strconv.Atoi(v)
-	if err != nil || sec < 0 {
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
 		return 0
 	}
-	return time.Duration(sec) * time.Second
+	return 0
 }

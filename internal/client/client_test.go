@@ -188,9 +188,11 @@ func TestBackoffSchedule(t *testing.T) {
 	}
 }
 
-// TestParseRetryAfter pins hint parsing: delay-seconds only, garbage and
-// negatives read as "no hint".
+// TestParseRetryAfter pins hint parsing across both RFC 9110 forms:
+// delay-seconds and HTTP-date (resolved against a fixed now, negatives
+// clamped to 0); garbage still reads as "no hint".
 func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
 	cases := map[string]time.Duration{
 		"":        0,
 		"5":       5 * time.Second,
@@ -198,12 +200,140 @@ func TestParseRetryAfter(t *testing.T) {
 		"-3":      0,
 		"x":       0,
 		"Wed, 21": 0,
+		// HTTP-date forms (RFC 9110 §10.2.3): IMF-fixdate 30s ahead,
+		// RFC 850, and ANSI C asctime — all relative to now.
+		"Fri, 08 Aug 2026 12:00:30 GMT":  30 * time.Second,
+		"Friday, 08-Aug-26 12:02:00 GMT": 2 * time.Minute,
+		"Fri Aug  8 12:00:10 2026":       10 * time.Second,
+		// A date in the past clamps to 0 instead of going negative.
+		"Fri, 08 Aug 2026 11:59:00 GMT": 0,
 	}
 	for in, want := range cases {
-		if got := parseRetryAfter(in); got != want {
+		if got := parseRetryAfter(in, now); got != want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
 		}
 	}
+}
+
+// TestRetryAfterDateFloorsBackoff: an HTTP-date Retry-After from a proxy
+// must floor the backoff exactly like the delay-seconds form — before the
+// fix it was silently dropped and the jittered backoff could dip under the
+// server's hint.
+func TestRetryAfterDateFloorsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg()
+	cfg.MaxAttempts = 1 // decode check, not retry check
+	_, err := New(ts.URL, cfg).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	// http.TimeFormat has second granularity, so anywhere in (1s, 2s] is
+	// a faithful parse; 0 means the date form was dropped.
+	if ae.RetryAfter <= time.Second || ae.RetryAfter > 2*time.Second {
+		t.Errorf("RetryAfter = %v, want ≈2s parsed from the HTTP-date form", ae.RetryAfter)
+	}
+}
+
+// TestDecodeErrorTerminal: a truncated 200 body is terminal — the server
+// answered, so retrying would only re-fetch the same malformed bytes (and
+// needlessly re-trigger whatever produced them). Before the fix the decode
+// failure was misclassified as a retryable transport error: the client
+// burned its whole attempt budget, re-decoding each time into the SAME
+// partially-populated value, and a later valid body would have merged into
+// that debris. The script here is truncated-then-valid: with the bug the
+// call would "succeed" on attempt 2; fixed, it must fail on attempt 1 with
+// ErrDecode and leave the out value untouched.
+func TestDecodeErrorTerminal(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A 200 whose body was cut off mid-object (proxy hiccup).
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"served": "ru`)) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(api.SimResponse{Served: "run"}) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	out, err := New(ts.URL, fastCfg()).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
+	if !errors.Is(err, ErrDecode) {
+		t.Fatalf("err = %v, want ErrDecode", err)
+	}
+	if out != nil {
+		t.Errorf("out = %+v, want nil on decode failure", out)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("requests = %d, want exactly 1 — decode failures must not retry", got)
+	}
+}
+
+// TestDecodeUsesFreshValue: each attempt decodes into a fresh value, so
+// fields populated by an earlier attempt's body cannot leak into the final
+// result. The first attempt 503s with a JSON body (which must never be
+// decoded as a payload); the retry's valid-but-sparser body must come back
+// exactly as sent, not merged over anything.
+func TestDecodeUsesFreshValue(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"served": "poison"}`)) //nolint:errcheck
+			return
+		}
+		w.Write([]byte(`{"served": "run"}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	out, err := New(ts.URL, fastCfg()).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Served != "run" {
+		t.Errorf("served = %q, want %q (a failed attempt's body leaked in)", out.Served, "run")
+	}
+	if out.SimPayload != nil {
+		t.Errorf("payload = %+v, want nil — not present in the final body", out.SimPayload)
+	}
+}
+
+// TestNon200SuccessStatuses: any 2xx is success, not an *APIError — a
+// future async endpoint's 202 (with a body) and a proxy's bodyless 204
+// must both come back clean.
+func TestNon200SuccessStatuses(t *testing.T) {
+	t.Run("202 with body", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(api.SimResponse{Served: "run"}) //nolint:errcheck
+		}))
+		defer ts.Close()
+		out, err := New(ts.URL, fastCfg()).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
+		if err != nil {
+			t.Fatalf("202 surfaced as error: %v", err)
+		}
+		if out.Served != "run" {
+			t.Errorf("served = %q, want run", out.Served)
+		}
+	})
+	t.Run("204 without body", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNoContent)
+		}))
+		defer ts.Close()
+		out, err := New(ts.URL, fastCfg()).Sim(context.Background(), api.SimRequest{Bench: "Qsort"})
+		if err != nil {
+			t.Fatalf("204 surfaced as error: %v", err)
+		}
+		if out == nil || out.Served != "" {
+			t.Errorf("out = %+v, want zero-valued response for a bodyless success", out)
+		}
+	})
 }
 
 // TestTransportErrorRetries: connection failures (server down between
@@ -298,7 +428,7 @@ func TestErrorTaxonomyDecoding(t *testing.T) {
 			if ae.IncidentID != tc.incident {
 				t.Errorf("incident = %q, want %q", ae.IncidentID, tc.incident)
 			}
-			want := parseRetryAfter(tc.retryAfter)
+			want := parseRetryAfter(tc.retryAfter, time.Now())
 			if ae.RetryAfter != want {
 				t.Errorf("retryAfter = %v, want %v", ae.RetryAfter, want)
 			}

@@ -1,0 +1,463 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"syncsim/internal/api"
+	"syncsim/internal/client"
+	"syncsim/internal/fleet/store"
+	"syncsim/internal/server"
+)
+
+// Config parameterises a Coordinator. Zero values select production
+// defaults.
+type Config struct {
+	// Backends are the syncsimd base URLs the fleet shards over.
+	// Required, at least one.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring;
+	// 0 selects DefaultReplicas.
+	Replicas int
+	// Pool configures the per-backend clients and circuit breakers.
+	Pool client.PoolConfig
+	// Store, when non-nil, is the shared L2 result cache (the same
+	// store the backends mount via syncsimd -store): sweep payloads and
+	// per-cell sim payloads are looked up before routing and written
+	// back after merging.
+	Store store.Store
+	// CellTimeout bounds one cell's end-to-end attempts on one backend;
+	// 0 selects 2m (the backend's own default job timeout).
+	CellTimeout time.Duration
+	// HealthInterval is the /healthz probe period; 0 selects 5s.
+	HealthInterval time.Duration
+	// ResultCacheSize bounds the coordinator's merged-sweep L1; 0
+	// selects 64; negative disables it.
+	ResultCacheSize int
+	// CellConcurrency bounds cells in flight per sweep; 0 selects
+	// 2 × len(Backends).
+	CellConcurrency int
+	// MaxBodyBytes caps request bodies; 0 selects 1 MiB.
+	MaxBodyBytes int64
+	// Logf receives operational log lines; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CellTimeout == 0 {
+		c.CellTimeout = 2 * time.Minute
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 5 * time.Second
+	}
+	switch {
+	case c.ResultCacheSize == 0:
+		c.ResultCacheSize = 64
+	case c.ResultCacheSize < 0:
+		c.ResultCacheSize = 0
+	}
+	if c.CellConcurrency <= 0 {
+		c.CellConcurrency = 2 * len(c.Backends)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// backendStats are one backend's routing counters (see api.FleetBackend).
+type backendStats struct {
+	routed     counter
+	retried    counter
+	failedOver counter
+}
+
+// counter is a tiny atomic counter (the fleet does not need the metrics
+// registry's name indirection for per-backend stats — /v1/fleet/status is
+// its exposition surface).
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) inc()          { c.v.Add(1) }
+func (c *counter) value() uint64 { return c.v.Load() }
+
+// Coordinator is the fleet front end: it owns the ring, the per-backend
+// client pool with circuit breakers, the health prober, a merged-sweep L1
+// and (optionally) the shared L2 store, and serves the same /v1 job
+// surface as a single syncsimd.
+type Coordinator struct {
+	cfg    Config
+	ring   *Ring
+	pool   *client.Pool
+	health *healthTracker
+	cache  *sweepLRU
+	store  store.Store
+
+	stats     map[string]*backendStats
+	sweeps    counter
+	cells     counter
+	cacheHits counter
+	storeHits counter
+
+	logf func(format string, args ...any)
+	mux  *http.ServeMux
+}
+
+// New builds a Coordinator and starts its health prober. Close it when
+// done.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Backends, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		ring:  ring,
+		pool:  client.NewPool(ring.Members(), cfg.Pool),
+		cache: newSweepLRU(cfg.ResultCacheSize),
+		store: cfg.Store,
+		stats: make(map[string]*backendStats, len(ring.Members())),
+		logf:  cfg.Logf,
+	}
+	for _, b := range ring.Members() {
+		c.stats[b] = &backendStats{}
+	}
+	c.health = newHealthTracker(ring.Members(), cfg.HealthInterval)
+	c.health.start()
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/v1/sweep", c.handleSweep)
+	c.mux.HandleFunc("/v1/sim", c.handleSim)
+	c.mux.HandleFunc("/v1/capabilities", c.handleCapabilities)
+	c.mux.HandleFunc("/v1/fleet/status", c.handleStatus)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Ring exposes the routing ring (tests pick their mid-sweep victim from
+// it so the kill deterministically owns cells).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Close stops the health prober.
+func (c *Coordinator) Close() { c.health.stopProbes() }
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeCellError relays a cell failure: a terminal server answer keeps
+// its status and message (the fleet is a transparent proxy for request
+// bugs); everything else — no backend reachable, budgets exhausted — is
+// the fleet's own 502.
+func (c *Coordinator) writeCellError(w http.ResponseWriter, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) && !ae.Retryable() {
+		http.Error(w, ae.Message, ae.Status)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// jobContext derives the context cells run under: the caller's, with its
+// tenant identity forwarded so backends attribute the fanned-out work.
+func jobContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if t := r.Header.Get(api.HeaderTenant); t != "" {
+		ctx = client.WithTenant(ctx, t)
+	}
+	return ctx
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req api.SweepRequest
+	if err := c.decodeBody(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := server.PlanSweep(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.sweeps.inc()
+
+	if p, ok := c.cache.get(plan.Key); ok {
+		c.cacheHits.inc()
+		c.writeJSON(w, http.StatusOK, api.SweepResponse{SweepPayload: p.(*api.SweepPayload), Served: "cache"})
+		return
+	}
+	if p := c.sweepFromStore(plan.Key); p != nil {
+		c.writeJSON(w, http.StatusOK, api.SweepResponse{SweepPayload: p, Served: "store"})
+		return
+	}
+
+	payload, err := c.runSweep(jobContext(r), plan)
+	if err != nil {
+		c.writeCellError(w, err)
+		return
+	}
+	c.cache.put(plan.Key, payload)
+	c.storePut(plan.Key, payload)
+	c.writeJSON(w, http.StatusOK, api.SweepResponse{SweepPayload: payload, Served: "run"})
+}
+
+// runSweep fans the plan's cells across the ring and merges the results.
+// One failed cell fails the sweep (after its own ring-order failover):
+// a partial sweep would not be bit-identical to anything.
+func (c *Coordinator) runSweep(ctx context.Context, plan server.SweepPlan) (*api.SweepPayload, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]cellResult, len(plan.Cells))
+	errs := make([]error, len(plan.Cells))
+	sem := make(chan struct{}, c.cfg.CellConcurrency)
+	var wg sync.WaitGroup
+	for i, cell := range plan.Cells {
+		wg.Add(1)
+		go func(i int, cell server.SweepCell) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			payload, err := c.runCell(ctx, cell.Plan)
+			if err != nil {
+				errs[i] = fmt.Errorf("cell %s/%s: %w", cell.Bench, cell.Model, err)
+				cancel() // no point finishing a sweep that cannot merge
+				return
+			}
+			results[i] = cellResult{cell: cell, payload: payload}
+		}(i, cell)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return MergeSweep(plan, results)
+}
+
+// runCell serves one cell: shared store first, then the ring's failover
+// order — primary, then each next distinct backend — skipping backends
+// whose health probe or circuit breaker says no, and falling back to
+// ignoring health verdicts when every backend looks down (probes can be
+// stale; the circuit breaker still guards the actual call).
+func (c *Coordinator) runCell(ctx context.Context, plan server.SimPlan) (*api.SimPayload, error) {
+	c.cells.inc()
+	if p := c.cellFromStore(plan.Key); p != nil {
+		return p, nil
+	}
+
+	order := c.ring.Order(RouteKey(plan.Route))
+	candidates := make([]string, 0, len(order))
+	for _, b := range order {
+		if c.health.ok(b) {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = order
+	}
+
+	var last error
+	for attempt, b := range candidates {
+		cl, err := c.pool.Acquire(b)
+		if err != nil {
+			last = err
+			continue
+		}
+		if attempt == 0 {
+			c.stats[b].routed.inc()
+		} else {
+			c.stats[b].retried.inc()
+		}
+		cellCtx, cancel := context.WithTimeout(ctx, c.cfg.CellTimeout)
+		resp, err := cl.Sim(cellCtx, plan.Request)
+		cancel()
+		c.pool.Report(b, err)
+		if err == nil {
+			if b != order[0] {
+				c.stats[b].failedOver.inc()
+			}
+			return resp.SimPayload, nil
+		}
+		var ae *client.APIError
+		if errors.As(err, &ae) && !ae.Retryable() {
+			// The backend answered and judged the request bad; every
+			// replica would say the same. Fail the cell now.
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		c.logf("fleet: cell %s on %s failed (%v), failing over", plan.Key, b, err)
+		last = err
+	}
+	return nil, fmt.Errorf("fleet: no backend could serve cell %s: %w", plan.Key, last)
+}
+
+func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req api.SimRequest
+	if err := c.decodeBody(w, r, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := server.PlanSim(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	payload, err := c.runCell(jobContext(r), plan)
+	if err != nil {
+		c.writeCellError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, api.SimResponse{SimPayload: payload, Served: "run"})
+}
+
+// sweepFromStore / cellFromStore / storePut mirror the server's L2 seam.
+func (c *Coordinator) sweepFromStore(key string) *api.SweepPayload {
+	return storeGet[api.SweepPayload](c, key)
+}
+
+func (c *Coordinator) cellFromStore(key string) *api.SimPayload {
+	return storeGet[api.SimPayload](c, key)
+}
+
+func storeGet[P any](c *Coordinator, key string) *P {
+	if c.store == nil {
+		return nil
+	}
+	blob, ok := c.store.Get(key)
+	if !ok {
+		return nil
+	}
+	p := new(P)
+	if err := json.Unmarshal(blob, p); err != nil {
+		c.logf("fleet: L2 store entry for %q is damaged: %v", key, err)
+		return nil
+	}
+	c.storeHits.inc()
+	return p
+}
+
+func (c *Coordinator) storePut(key string, payload any) {
+	if c.store == nil {
+		return
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	c.store.Put(key, blob)
+}
+
+// handleCapabilities proxies GET /v1/capabilities from the first backend
+// that answers, in ring-member order: the fleet's vocabulary is its
+// backends' (they are replicas of one service).
+func (c *Coordinator) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var last error
+	for _, b := range c.ring.Members() {
+		cl, err := c.pool.Acquire(b)
+		if err != nil {
+			last = err
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		caps, err := cl.Capabilities(ctx)
+		cancel()
+		c.pool.Report(b, err)
+		if err == nil {
+			c.writeJSON(w, http.StatusOK, caps)
+			return
+		}
+		last = err
+	}
+	http.Error(w, fmt.Sprintf("no backend answered capabilities: %v", last), http.StatusBadGateway)
+}
+
+// Status snapshots the fleet counters (also served on /v1/fleet/status).
+func (c *Coordinator) Status() api.FleetStatusResponse {
+	resp := api.FleetStatusResponse{
+		Replicas:  c.ring.Replicas(),
+		Sweeps:    c.sweeps.value(),
+		Cells:     c.cells.value(),
+		CacheHits: c.cacheHits.value(),
+		StoreHits: c.storeHits.value(),
+	}
+	for _, b := range c.ring.Members() {
+		st := c.stats[b]
+		resp.Backends = append(resp.Backends, api.FleetBackend{
+			URL:        b,
+			Healthy:    c.health.ok(b),
+			Circuit:    string(c.pool.State(b)),
+			Routed:     st.routed.value(),
+			Retried:    st.retried.value(),
+			FailedOver: st.failedOver.value(),
+		})
+	}
+	return resp
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, c.Status())
+}
+
+// handleHealthz: the fleet is healthy while at least one backend is.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !c.health.anyHealthy() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"no healthy backends"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}

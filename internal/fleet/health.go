@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"syncsim/internal/client"
+)
+
+// healthTracker polls every backend's /healthz on an interval and caches
+// the verdicts, so routing decisions read a bool instead of paying a
+// network round trip per cell. A backend with no probe yet counts as
+// healthy — the circuit breaker and ring failover catch it on first use;
+// optimism here just avoids a cold-start thundering probe.
+type healthTracker struct {
+	clients  map[string]*client.Client
+	interval time.Duration
+
+	mu      sync.Mutex
+	healthy map[string]bool
+
+	stop   chan struct{}
+	stopMu sync.Mutex
+	done   chan struct{}
+}
+
+func newHealthTracker(backends []string, interval time.Duration) *healthTracker {
+	h := &healthTracker{
+		clients:  make(map[string]*client.Client, len(backends)),
+		interval: interval,
+		healthy:  make(map[string]bool, len(backends)),
+	}
+	for _, b := range backends {
+		// Health probes bypass the circuit breaker on purpose: they are
+		// how an open circuit's backend proves it came back.
+		h.clients[b] = client.New(b, client.Config{})
+		h.healthy[b] = true
+	}
+	return h
+}
+
+// start launches the probe loop; idempotent stop() ends it.
+func (h *healthTracker) start() {
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		h.probeAll()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.probeAll()
+			}
+		}
+	}()
+}
+
+func (h *healthTracker) stopProbes() {
+	h.stopMu.Lock()
+	defer h.stopMu.Unlock()
+	if h.stop == nil {
+		return
+	}
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+		<-h.done
+	}
+}
+
+// probeAll checks every backend concurrently with a short deadline.
+func (h *healthTracker) probeAll() {
+	var wg sync.WaitGroup
+	for b, c := range h.clients {
+		wg.Add(1)
+		go func(b string, c *client.Client) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			ok := c.Healthy(ctx)
+			h.mu.Lock()
+			h.healthy[b] = ok
+			h.mu.Unlock()
+		}(b, c)
+	}
+	wg.Wait()
+}
+
+// ok reports the backend's last probe verdict.
+func (h *healthTracker) ok(backend string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.healthy[backend]
+}
+
+// anyHealthy reports whether at least one backend looks alive.
+func (h *healthTracker) anyHealthy() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ok := range h.healthy {
+		if ok {
+			return true
+		}
+	}
+	return false
+}

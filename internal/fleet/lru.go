@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+)
+
+// sweepLRU is the coordinator's own bounded L1 for merged sweep payloads,
+// keyed by the server's sweep cache key (so a key that hits here would
+// have hit a backend's resultLRU too). The fleet does not reuse the
+// server's resultLRU — that type is deliberately unexported; the cache
+// contract (bounded, recency eviction, immutable values) is what is
+// shared.
+type sweepLRU struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *sweepEntry
+	byKey map[string]*list.Element
+}
+
+type sweepEntry struct {
+	key string
+	val any
+}
+
+func newSweepLRU(capacity int) *sweepLRU {
+	return &sweepLRU{cap: capacity, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (l *sweepLRU) get(key string) (any, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*sweepEntry).val, true
+}
+
+func (l *sweepLRU) put(key string, val any) {
+	if l.cap <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.byKey[key]; ok {
+		el.Value.(*sweepEntry).val = val
+		l.order.MoveToFront(el)
+		return
+	}
+	l.byKey[key] = l.order.PushFront(&sweepEntry{key: key, val: val})
+	for l.order.Len() > l.cap {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.byKey, oldest.Value.(*sweepEntry).key)
+	}
+}
+
+func (l *sweepLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}

@@ -1,0 +1,139 @@
+// Package fleet is the sharded multi-node sweep fabric behind
+// cmd/syncsimfleet: a coordinator that fans a sweep's (benchmark × model ×
+// scale × seed) cells across N syncsimd backends with consistent-hash
+// routing keyed on the content-addressed trace key (engine.KeyFor), so
+// trace generation and engine-cache hits stay node-local — route the work
+// to where the expensive shared state already lives instead of
+// regenerating it (the locality argument the paper's contention analysis
+// makes for lock hand-off applies to traces just the same).
+//
+// The coordinator speaks the same /v1 wire contract as a single backend:
+// its merged sweep responses are bit-identical (after canonicalising
+// volatile timing fields — see CanonicalizeSweep) to a single node running
+// the whole sweep, which is what lets a fleet be dropped in behind
+// existing clients.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"syncsim/internal/engine"
+)
+
+// Ring is a consistent-hash ring over backend URLs. Each member is placed
+// at `replicas` virtual points (FNV-1a of "member#i"), which evens out the
+// key space across members; a key routes to the first point clockwise of
+// its own hash. Removing one member moves only that member's ~1/N share of
+// keys (pinned by TestRingRemovalRemapsFraction); everything else keeps
+// its owner — and therefore its node-local trace cache.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  []string    // sorted, distinct
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultReplicas is the virtual-node count per member when a Config
+// leaves it zero. 128 points per member keeps the max/min load ratio
+// within a few percent for small fleets.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over the given members. Duplicate members
+// collapse; order does not matter (two rings over the same member set are
+// identical, whatever the listing order).
+func NewRing(members []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := map[string]bool{}
+	var distinct []string
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("fleet: empty ring member")
+		}
+		if !seen[m] {
+			seen[m] = true
+			distinct = append(distinct, m)
+		}
+	}
+	if len(distinct) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one member")
+	}
+	sort.Strings(distinct)
+	r := &Ring{replicas: replicas, members: distinct}
+	for _, m := range distinct {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the distinct members, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Replicas returns the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// RouteKey renders an engine trace key into the ring's key space. All
+// jobs over one generated trace share one RouteKey — the machine model is
+// a config, not a trace parameter — so they all land on the backend that
+// holds that trace.
+func RouteKey(k engine.Key) string {
+	return fmt.Sprintf("%s|%d|%g|%d", k.Workload, k.NCPU, k.Scale, k.Seed)
+}
+
+// Owner returns the member owning key: the first ring point clockwise of
+// the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.search(key)].member
+}
+
+// Order returns every member, deduplicated, in ring order starting from
+// key's owner: the failover sequence for the key. A cell that fails on
+// Order(key)[0] is retried on Order(key)[1], and so on — deterministic,
+// so two coordinators over the same ring agree on every hop.
+func (r *Ring) Order(key string) []string {
+	start := r.search(key)
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or clockwise of key's hash.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the ring
+	}
+	return i
+}
+
+// hash64 is FNV-1a: fast, dependency-free, and stable across processes
+// and releases — ring placement is part of the fleet's cache locality
+// contract, so the hash must never change silently.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	return h.Sum64()
+}

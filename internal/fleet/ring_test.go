@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"syncsim/internal/api"
+	"syncsim/internal/engine"
+	"syncsim/internal/server"
+	"syncsim/internal/workload"
+	"syncsim/internal/workload/suite"
+)
+
+// realKeys builds routing keys from the real engine.KeyFor keys of the
+// suite's benchmarks over a spread of seeds and scales — the exact keys a
+// production sweep hashes.
+func realKeys(t *testing.T, seeds []int64, scales []float64) []string {
+	t.Helper()
+	var keys []string
+	for _, b := range suite.All() {
+		for _, seed := range seeds {
+			for _, scale := range scales {
+				k := engine.KeyFor(b.Program, workload.Params{Scale: scale, Seed: seed})
+				keys = append(keys, RouteKey(k))
+			}
+		}
+	}
+	return keys
+}
+
+// TestRingDeterministicRouting: a fixed ring routes every cell to one
+// backend, regardless of member listing order, process, or call count —
+// and all 3 models of one benchmark share that backend (the model is not
+// part of the trace key), which is what keeps trace generation
+// node-local.
+func TestRingDeterministicRouting(t *testing.T) {
+	backends := []string{"http://c:1", "http://a:1", "http://b:1"}
+	r1, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same members, different listing order: identical ring.
+	r2, err := NewRing([]string{"http://b:1", "http://a:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := server.PlanSweep(api.SweepRequest{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBench := map[string]string{}
+	for _, cell := range plan.Cells {
+		key := RouteKey(cell.Plan.Route)
+		owner := r1.Owner(key)
+		for i := 0; i < 3; i++ {
+			if got := r1.Owner(key); got != owner {
+				t.Fatalf("owner of %q flapped: %q then %q", key, owner, got)
+			}
+		}
+		if got := r2.Owner(key); got != owner {
+			t.Errorf("member order changed owner of %q: %q vs %q", key, owner, got)
+		}
+		if prev, ok := perBench[cell.Bench]; ok && prev != owner {
+			t.Errorf("benchmark %s: model %s routed to %q, earlier model to %q — models must share a backend",
+				cell.Bench, cell.Model, owner, prev)
+		}
+		perBench[cell.Bench] = owner
+
+		// The failover order starts at the owner and visits every member
+		// exactly once.
+		order := r1.Order(key)
+		if len(order) != 3 || order[0] != owner {
+			t.Fatalf("Order(%q) = %v, want 3 distinct starting at %q", key, order, owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("Order(%q) repeats %q", key, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingRemovalRemapsFraction: dropping one of N backends remaps only
+// that backend's ~1/N share of real trace keys; every other key keeps its
+// owner (and with it the backend-local trace cache it warmed).
+func TestRingRemovalRemapsFraction(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(backends[:3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := backends[3]
+
+	keys := realKeys(t,
+		[]int64{0, 1, 2, 3, 5, 7, 11, 42, 1337, 9000},
+		[]float64{0.01, 0.05, 0.2, 1.0})
+	if len(keys) != 6*10*4 {
+		t.Fatalf("key corpus = %d, want 240", len(keys))
+	}
+
+	var moved, ownedByRemoved int
+	for _, key := range keys {
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == removed {
+			ownedByRemoved++
+			if after == removed {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %q moved %q → %q although its owner survived", key, before, after)
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d surviving-owner keys remapped; consistent hashing must only move the removed member's share", moved)
+	}
+	// The removed member's share should be ~1/4 of the corpus. Generous
+	// bounds: vnode placement is uneven but not 2x-off at 128 vnodes.
+	frac := float64(ownedByRemoved) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("removed member owned %.0f%% of keys, want ~25%% (10%%–45%%)", 100*frac)
+	}
+}
+
+// TestRingValidation: empty and duplicate member lists.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) succeeded")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Error("NewRing with empty member succeeded")
+	}
+	r, err := NewRing([]string{"http://a", "http://a", "http://b"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Members(); len(got) != 2 {
+		t.Errorf("members = %v, want deduplicated pair", got)
+	}
+	if r.Replicas() != 16 {
+		t.Errorf("replicas = %d, want 16", r.Replicas())
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if got := r.Owner(key); got != "http://a" && got != "http://b" {
+			t.Fatalf("Owner(%q) = %q", key, got)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "l2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := `sim|Qsort|8|0.2|1|queue|sc|calendar|0|false`
+	if _, ok := d.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	blob := []byte(`{"served":"run"}`)
+	d.Put(key, blob)
+	got, ok := d.Get(key)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, blob)
+	}
+	// Overwrite replaces.
+	d.Put(key, []byte(`{"served":"cache"}`))
+	if got, _ := d.Get(key); string(got) != `{"served":"cache"}` {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+// TestDiskSharedBetweenOpens: two Disk values over the same directory see
+// each other's entries — the property the fleet leans on, with each
+// backend and the coordinator holding its own handle to a shared path.
+func TestDiskSharedBetweenOpens(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shared")
+	a, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put("k", []byte("v"))
+	if got, ok := b.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("second handle: Get = %q, %v", got, ok)
+	}
+}
+
+// TestDiskKeySafety: arbitrary job-key bytes (pipes, slashes, path
+// traversal attempts) never escape the store directory, and distinct keys
+// never collide on a file.
+func TestDiskKeySafety(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "l2")
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a/b", "a\\b", "../../etc/passwd", "sim|x", "sim|y", strings.Repeat("k", 4096)}
+	for i, k := range keys {
+		d.Put(k, []byte(fmt.Sprintf("blob-%d", i)))
+	}
+	for i, k := range keys {
+		got, ok := d.Get(k)
+		if !ok || string(got) != fmt.Sprintf("blob-%d", i) {
+			t.Fatalf("key %q: Get = %q, %v", k, got, ok)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(keys) {
+		t.Fatalf("%d files for %d keys", len(entries), len(keys))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") || len(e.Name()) != 64+len(".json") {
+			t.Fatalf("unexpected entry %q", e.Name())
+		}
+	}
+}
+
+// TestDiskDamagedEntryIsMiss: an empty (or truncated-to-empty) blob file
+// reads as a miss, not as an empty result.
+func TestDiskDamagedEntryIsMiss(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "l2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", []byte("v"))
+	if err := os.WriteFile(d.path("k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("empty entry served as a hit")
+	}
+}
+
+// TestDiskConcurrentPutGet: hammer one key from many goroutines; every
+// read must observe either a miss or one of the complete blobs — never a
+// torn write. Run with -race.
+func TestDiskConcurrentPutGet(t *testing.T) {
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "l2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		valid[strings.Repeat(fmt.Sprintf("%d", i), 64)] = true
+	}
+	var wg sync.WaitGroup
+	for v := range valid {
+		wg.Add(1)
+		go func(v string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d.Put("hot", []byte(v))
+			}
+		}(v)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			if blob, ok := d.Get("hot"); ok && !valid[string(blob)] {
+				t.Errorf("torn read: %q", blob)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -32,6 +32,8 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"syncsim/internal/chaos"
 	"syncsim/internal/core"
 	"syncsim/internal/engine"
+	"syncsim/internal/fleet/store"
 	"syncsim/internal/machine"
 	"syncsim/internal/metrics"
 	"syncsim/internal/predict"
@@ -77,6 +80,13 @@ type Config struct {
 	// the syncsimd -predict-model flag). Nil: analytic mode answers 422
 	// and auto mode always falls back to simulation.
 	Predict *predict.Model
+	// Store, when non-nil, is the fleet's shared L2 result cache (see
+	// internal/fleet/store and the syncsimd -store flag): sim and sweep
+	// payloads missing from the in-memory L1 are looked up here before
+	// running, and completed payloads are written back, so any fleet
+	// member can serve a result any other member computed. Nil — the
+	// standalone default — disables the tier.
+	Store store.Store
 	// Logf receives operational log lines (panic incidents with stacks).
 	// Nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -128,6 +138,7 @@ type Server struct {
 	adm        *admission
 	flights    *flightGroup
 	results    *resultLRU
+	store      store.Store
 
 	reg       *metrics.Registry
 	accepted  *metrics.Counter // jobs that reached a worker slot
@@ -136,6 +147,7 @@ type Server struct {
 	failed    *metrics.Counter // jobs that errored (incl. timeout/cancel)
 	coalesced *metrics.Counter // requests served by joining another's flight
 	cacheHits *metrics.Counter // requests served from the result LRU
+	storeHits *metrics.Counter // requests served from the shared L2 store
 	panicked  *metrics.Counter // jobs that panicked (recovered; 500 + incident)
 	wedged    *metrics.Counter // jobs aborted by the liveness watchdog
 	simCycles *metrics.Counter // total simulated machine cycles
@@ -149,6 +161,12 @@ type Server struct {
 	chaos   *chaos.Plane
 	predict *predict.Model
 	logf    func(format string, args ...any)
+
+	// tenants bounds the cardinality of per-tenant request counters:
+	// the first tenantCap distinct (sanitised) tenant names get their
+	// own counter, later ones share "other".
+	tenantMu sync.Mutex
+	tenants  map[string]*metrics.Counter
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -166,7 +184,10 @@ type Server struct {
 // New builds a Server ready to serve.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, chaos: cfg.Chaos, predict: cfg.Predict, logf: cfg.Logf}
+	s := &Server{
+		cfg: cfg, chaos: cfg.Chaos, predict: cfg.Predict, logf: cfg.Logf,
+		store: cfg.Store, tenants: make(map[string]*metrics.Counter),
+	}
 	s.traceCache = engine.NewTraceCacheCap(cfg.TraceCacheCap)
 	s.eng = engine.New(engine.Config{Workers: cfg.Workers, Cache: s.traceCache, Chaos: cfg.Chaos})
 	s.adm = newAdmission(cfg.Workers, cfg.QueueDepth)
@@ -180,6 +201,7 @@ func New(cfg Config) *Server {
 	s.failed = s.reg.Counter("jobs_failed")
 	s.coalesced = s.reg.Counter("requests_coalesced")
 	s.cacheHits = s.reg.Counter("result_cache_hits")
+	s.storeHits = s.reg.Counter("result_store_hits")
 	s.panicked = s.reg.Counter("jobs_panicked")
 	s.wedged = s.reg.Counter("jobs_wedged")
 	s.simCycles = s.reg.Counter("sim_cycles_total")
@@ -277,6 +299,7 @@ func (s *Server) gauges() map[string]int64 {
 		"draining":             boolGauge(s.draining.Load()),
 		"chaos_enabled":        boolGauge(s.chaos != nil),
 		"predict_model_loaded": boolGauge(s.predict != nil),
+		"result_store_enabled": boolGauge(s.store != nil),
 	}
 	for pt, fired := range s.chaos.Snapshot() {
 		g["chaos_fired_"+pt] = int64(fired)
@@ -368,8 +391,59 @@ func (s *Server) admitJobRequest(w http.ResponseWriter, r *http.Request) (func()
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
 		return nil, false
 	}
+	s.countTenant(r.Header.Get(api.HeaderTenant))
 	s.inflight.Add(1)
 	return func() { s.inflight.Add(-1) }, true
+}
+
+// tenantCap bounds how many distinct tenants get their own /metrics
+// counter; later arrivals share tenant_requests_other so a header-spraying
+// client cannot grow the registry without bound.
+const tenantCap = 64
+
+// countTenant attributes one admitted job request to its X-Tenant header
+// under tenant_requests_<tenant>. No header, no counter.
+func (s *Server) countTenant(raw string) {
+	t := sanitizeTenant(raw)
+	if t == "" {
+		return
+	}
+	s.tenantMu.Lock()
+	c, ok := s.tenants[t]
+	if !ok {
+		if len(s.tenants) >= tenantCap {
+			t = "other"
+		}
+		if c, ok = s.tenants[t]; !ok {
+			c = s.reg.Counter("tenant_requests_" + t)
+			s.tenants[t] = c
+		}
+	}
+	s.tenantMu.Unlock()
+	c.Inc()
+}
+
+// sanitizeTenant folds an arbitrary header value into a metric-name-safe
+// slug: lowercase [a-z0-9_-], everything else replaced by '_', at most 32
+// bytes. Empty in, empty out.
+func sanitizeTenant(raw string) string {
+	raw = strings.ToLower(strings.TrimSpace(raw))
+	if raw == "" {
+		return ""
+	}
+	var b strings.Builder
+	for i, r := range raw {
+		if i >= 32 {
+			break
+		}
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
@@ -406,6 +480,9 @@ func (s *Server) simResult(r *http.Request, job simJob) (*SimPayload, string, er
 	if p, ok := s.results.get(job.key); ok {
 		s.cacheHits.Inc()
 		return p.(*SimPayload), "cache", nil
+	}
+	if p := storeGet[SimPayload](s, job.key); p != nil {
+		return p, "store", nil
 	}
 	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
 		func(jobCtx context.Context) (any, error) { return s.runSim(jobCtx, job) })
@@ -446,7 +523,42 @@ func (s *Server) runSim(ctx context.Context, job simJob) (*SimPayload, error) {
 	tr := results[0]
 	p := &SimPayload{Request: job.req, Ideal: tr.Ideal, Result: tr.Result, Report: tr.Report}
 	s.results.put(job.key, p)
+	s.storePut(job.key, p)
 	return p, nil
+}
+
+// storeGet consults the shared L2 store on an L1 miss. A hit is promoted
+// into L1 so the next identical request is answered without the disk.
+// Damaged blobs are treated as misses (the job just runs).
+func storeGet[P any](s *Server, key string) *P {
+	if s.store == nil {
+		return nil
+	}
+	blob, ok := s.store.Get(key)
+	if !ok {
+		return nil
+	}
+	p := new(P)
+	if err := json.Unmarshal(blob, p); err != nil {
+		s.logf("server: L2 store entry for %q is damaged: %v", key, err)
+		return nil
+	}
+	s.storeHits.Inc()
+	s.results.put(key, p)
+	return p
+}
+
+// storePut writes a completed payload back to the shared L2 store,
+// best-effort.
+func (s *Server) storePut(key string, payload any) {
+	if s.store == nil {
+		return
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	s.store.Put(key, blob)
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -544,6 +656,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, SweepResponse{SweepPayload: p.(*SweepPayload), Served: "cache"})
 		return
 	}
+	if p := storeGet[SweepPayload](s, job.key); p != nil {
+		writeJSON(w, http.StatusOK, SweepResponse{SweepPayload: p, Served: "store"})
+		return
+	}
 
 	val, shared, err := s.flights.do(r.Context(), s.baseCtx, s.cfg.JobTimeout, job.key,
 		func(jobCtx context.Context) (any, error) { return s.runSweep(jobCtx, job) })
@@ -613,6 +729,7 @@ func (s *Server) runSweep(ctx context.Context, job sweepJob) (*SweepPayload, err
 		p.Outcomes = append(p.Outcomes, out)
 	}
 	s.results.put(job.key, p)
+	s.storePut(job.key, p)
 	return p, nil
 }
 
