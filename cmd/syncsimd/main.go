@@ -8,6 +8,7 @@
 //	         [-result-cache 256] [-trace-cache 64] [-drain 30s]
 //	         [-stall-timeout 30s] [-write-timeout 5m] [-idle-timeout 2m]
 //	         [-store DIR] [-chaos spec] [-predict-model model.json]
+//	         [-quota tenant=rps:burst]...
 //
 // Endpoints:
 //
@@ -26,7 +27,11 @@
 //
 // Identical in-flight requests coalesce onto one execution; completed
 // results are cached (bounded LRU); excess load is shed with 429 +
-// Retry-After. SIGTERM/SIGINT begins a graceful drain: the server stops
+// Retry-After. Repeatable -quota flags add per-tenant token-bucket
+// admission budgets on top of the global queue: a tenant named in a
+// quota that exceeds its rate is shed with a tenant-scoped 429 +
+// Retry-After while every other tenant (and untenanted traffic) is
+// untouched. SIGTERM/SIGINT begins a graceful drain: the server stops
 // accepting jobs, finishes the ones in flight (up to -drain), and exits.
 package main
 
@@ -39,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +60,12 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("syncsimd", flag.ContinueOnError)
@@ -71,8 +83,17 @@ func run(args []string, stderr io.Writer) error {
 	storeDir := fs.String("store", "", "shared L2 result-store directory (content-addressed; share it across a fleet's backends and coordinator)")
 	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "seed=1,panic=0.05,cancel=0.05,slow=0.1,queue=0.05,delay=5ms" or "all=0.05" (empty = off; NEVER enable in production)`)
 	predictModel := fs.String("predict-model", "", "fitted analytic model JSON (cmd/predict -calibrate output) enabling /v1/predict's fast path")
+	var quotaSpecs multiFlag
+	fs.Var(&quotaSpecs, "quota", "per-tenant admission quota `tenant=rps:burst` (repeatable; burst defaults to ceil(rps); over-quota tenants get 429 + Retry-After)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	quotas, err := server.ParseQuotas(quotaSpecs)
+	if err != nil {
+		return err
+	}
+	if len(quotas) > 0 {
+		fmt.Fprintf(stderr, "syncsimd: per-tenant quotas enforced for %d tenant(s)\n", len(quotas))
 	}
 	plane, err := chaos.Parse(*chaosSpec)
 	if err != nil {
@@ -110,6 +131,7 @@ func run(args []string, stderr io.Writer) error {
 		Chaos:           plane,
 		Predict:         model,
 		Store:           resultStore,
+		Quotas:          quotas,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

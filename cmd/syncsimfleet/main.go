@@ -5,6 +5,15 @@
 // results into one response bit-identical (canonically) to a
 // single-node sweep.
 //
+// Membership is live: backends join and leave the ring at runtime
+// through the admin plane (POST /v1/fleet/join, POST /v1/fleet/leave),
+// each change advancing an epoch; a leave drains the member's in-flight
+// cells before tearing its client down. Slow cells are hedged — after a
+// latency budget (the backend's observed p95, or -hedge-after until
+// enough samples exist) the cell is speculatively re-issued to the next
+// ring-order backend and the first answer wins. Repeatable -quota flags
+// enforce per-tenant token-bucket admission, mirroring syncsimd's.
+//
 // Usage:
 //
 //	syncsimfleet -backends http://n1:8080,http://n2:8080,http://n3:8080
@@ -12,6 +21,8 @@
 //	             [-health-interval 5s] [-cell-timeout 2m]
 //	             [-result-cache 64] [-cell-concurrency 0]
 //	             [-attempts 5] [-circuit-threshold 3] [-circuit-cooldown 5s]
+//	             [-hedge-after 500ms] [-hedge-min 25ms]
+//	             [-drain-timeout 30s] [-quota tenant=rps:burst]...
 //
 //	syncsimfleet -normalize < sweep.json > canonical.json
 //
@@ -20,7 +31,12 @@
 //	POST /v1/sweep         the full benchmark × model matrix, sharded
 //	POST /v1/sim           one cell, routed to its ring owner
 //	GET  /v1/capabilities  proxied from the first live backend
-//	GET  /v1/fleet/status  per-backend routed/retried/failed-over counters
+//	GET  /v1/fleet/status  epoch, fleet counters (hedged, hedge_wins,
+//	                       coalesced, throttled) and per-backend
+//	                       routed/retried/failed-over/hedged counters,
+//	                       circuit state, and observed p95
+//	POST /v1/fleet/join    add a backend to the live ring ({"backend":URL})
+//	POST /v1/fleet/leave   drain and remove a backend from the live ring
 //	GET  /healthz          200 while at least one backend is healthy
 //
 // The -normalize mode reads one api.SweepResponse JSON document from
@@ -49,6 +65,7 @@ import (
 	"syncsim/internal/client"
 	"syncsim/internal/fleet"
 	"syncsim/internal/fleet/store"
+	"syncsim/internal/server"
 )
 
 func main() {
@@ -57,6 +74,12 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("syncsimfleet", flag.ContinueOnError)
@@ -72,8 +95,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	attempts := fs.Int("attempts", 0, "HTTP attempts per backend call before failing over (0 = client default)")
 	circuitThreshold := fs.Int("circuit-threshold", 0, "consecutive failures that open a backend's circuit (0 = default)")
 	circuitCooldown := fs.Duration("circuit-cooldown", 0, "how long an open circuit rejects before probing (0 = default)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "static latency budget before a cell is hedged to the next backend, used until the backend's p95 is known (0 = default 500ms; negative disables hedging)")
+	hedgeMin := fs.Duration("hedge-min", 0, "floor under the observed-p95 hedge budget (0 = default 25ms)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "how long a /v1/fleet/leave waits for the member's in-flight cells (0 = default 30s)")
+	var quotaSpecs multiFlag
+	fs.Var(&quotaSpecs, "quota", "per-tenant admission quota `tenant=rps:burst` (repeatable; burst defaults to ceil(rps); over-quota tenants get 429 + Retry-After)")
 	normalize := fs.Bool("normalize", false, "read one sweep-response JSON from stdin, strip volatile fields, write canonical JSON to stdout, exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	quotas, err := server.ParseQuotas(quotaSpecs)
+	if err != nil {
 		return err
 	}
 
@@ -96,6 +128,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Replicas:        *replicas,
 		CellTimeout:     *cellTimeout,
 		HealthInterval:  *healthInterval,
+		HedgeAfter:      *hedgeAfter,
+		HedgeMin:        *hedgeMin,
+		DrainTimeout:    *drainTimeout,
+		Quotas:          quotas,
 		ResultCacheSize: *resultCache,
 		CellConcurrency: *cellConcurrency,
 		Pool: client.PoolConfig{

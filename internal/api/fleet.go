@@ -24,16 +24,25 @@ type FleetBackend struct {
 	// FailedOver counts cells this backend served as a non-primary
 	// replica because an earlier backend in ring order failed.
 	FailedOver uint64 `json:"failed_over"`
+	// Hedged counts speculative (latency-hedge) cell attempts issued to
+	// this backend while an earlier attempt was still in flight.
+	Hedged uint64 `json:"hedged"`
+	// P95Millis is the backend's windowed p95 successful-call latency in
+	// milliseconds (the hedge budget's input); 0 until enough samples.
+	P95Millis int64 `json:"p95_ms"`
 }
 
 // FleetStatusResponse is the body of GET /v1/fleet/status.
 type FleetStatusResponse struct {
-	// Backends holds one row per configured backend, in ring-member
+	// Backends holds one row per current ring member, in ring-member
 	// (sorted URL) order.
 	Backends []FleetBackend `json:"backends"`
 	// Replicas is the number of virtual nodes per backend on the hash
 	// ring.
 	Replicas int `json:"replicas"`
+	// Epoch is the membership epoch: 0 at boot, +1 per join or leave.
+	// In-flight cells route on the epoch they started under.
+	Epoch uint64 `json:"epoch"`
 	// Sweeps and Cells count jobs since boot: sweeps accepted, and the
 	// (benchmark × model-group × scale × seed) cells they fanned out.
 	Sweeps uint64 `json:"sweeps"`
@@ -43,4 +52,43 @@ type FleetStatusResponse struct {
 	// content-addressed store (L2) without touching a backend.
 	CacheHits uint64 `json:"cache_hits"`
 	StoreHits uint64 `json:"store_hits"`
+	// Coalesced counts cell requests that joined another identical
+	// cell's in-flight execution instead of starting their own (the
+	// coordinator's cross-backend single-flight).
+	Coalesced uint64 `json:"coalesced"`
+	// Hedged counts speculative cell attempts issued after a latency
+	// budget expired; HedgeWins counts cells whose accepted result came
+	// from such a hedge (first answer wins, the loser is cancelled).
+	Hedged    uint64 `json:"hedged"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Throttled counts requests rejected 429 by per-tenant quotas.
+	Throttled uint64 `json:"throttled"`
+}
+
+// FleetJoinRequest is the body of POST /v1/fleet/join: adds a backend to
+// the live ring (epoch +1). Joining a current member is an idempotent
+// no-op.
+type FleetJoinRequest struct {
+	// Backend is the syncsimd base URL to add.
+	Backend string `json:"backend"`
+}
+
+// FleetLeaveRequest is the body of POST /v1/fleet/leave: removes a
+// backend from the live ring (epoch +1), draining first — the call
+// returns after the member's in-flight cells finish (or the drain
+// timeout expires; cells still route around the corpse either way).
+type FleetLeaveRequest struct {
+	// Backend is the member URL to remove.
+	Backend string `json:"backend"`
+}
+
+// FleetMembershipResponse answers join and leave.
+type FleetMembershipResponse struct {
+	// Epoch is the membership epoch after the change.
+	Epoch uint64 `json:"epoch"`
+	// Members is the ring's member list after the change, sorted.
+	Members []string `json:"members"`
+	// Drained reports (on leave) whether the member's in-flight cells
+	// finished before removal; false means the drain timeout expired.
+	Drained bool `json:"drained,omitempty"`
 }

@@ -76,8 +76,10 @@ func WithTenant(ctx context.Context, tenant string) context.Context {
 	return context.WithValue(ctx, tenantKey{}, tenant)
 }
 
-// tenantFrom extracts the tenant stamped by WithTenant, if any.
-func tenantFrom(ctx context.Context) (string, bool) {
+// TenantFrom extracts the tenant stamped by WithTenant, if any. The
+// fleet coordinator uses it to re-stamp a coalesced job's context with
+// the leading caller's tenant.
+func TenantFrom(ctx context.Context) (string, bool) {
 	t, ok := ctx.Value(tenantKey{}).(string)
 	return t, ok && t != ""
 }
@@ -258,7 +260,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if tenant, ok := tenantFrom(ctx); ok {
+	if tenant, ok := TenantFrom(ctx); ok {
 		req.Header.Set(api.HeaderTenant, tenant)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)

@@ -64,6 +64,49 @@ type backendState struct {
 	consecFails int
 	openUntil   time.Time // zero when closed
 	probing     bool      // a half-open probe is in flight
+	lat         latencyWindow
+}
+
+// latencyWindowSize is the sample window of the per-backend latency
+// digest: large enough that one outlier cannot own the p95, small enough
+// that the digest tracks a backend whose latency regime shifts (a
+// redeploy, a noisy neighbour) within a few dozen calls.
+const latencyWindowSize = 64
+
+// latencyMinSamples is how many observations the digest needs before it
+// publishes a quantile; below it, callers fall back to their static
+// hedge budget.
+const latencyMinSamples = 8
+
+// latencyWindow is a fixed-size ring of the backend's most recent
+// successful-call latencies. Quantiles are computed by copy-and-sort —
+// at 64 samples that is cheaper than maintaining a sketch, and it is
+// exact.
+type latencyWindow struct {
+	samples [latencyWindowSize]time.Duration
+	n       int // total observations (ring index = n % size)
+}
+
+func (l *latencyWindow) observe(d time.Duration) {
+	l.samples[l.n%latencyWindowSize] = d
+	l.n++
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) over the window, or false
+// until latencyMinSamples observations have been made.
+func (l *latencyWindow) quantile(q float64) (time.Duration, bool) {
+	n := l.n
+	if n > latencyWindowSize {
+		n = latencyWindowSize
+	}
+	if l.n < latencyMinSamples {
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, l.samples[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(n-1))
+	return buf[idx], true
 }
 
 // Pool manages one Client per fleet backend, each behind an independent
@@ -87,6 +130,53 @@ func NewPool(backends []string, cfg PoolConfig) *Pool {
 		p.backends[b] = &backendState{client: New(b, p.cfg.Client)}
 	}
 	return p
+}
+
+// Add registers a backend with a fresh client, closed circuit, and empty
+// latency window. Adding an existing backend is a no-op (its breaker and
+// digest state are kept — the fleet may re-announce members it already
+// knows).
+func (p *Pool) Add(backend string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.backends[backend]; ok {
+		return
+	}
+	p.backends[backend] = &backendState{client: New(backend, p.cfg.Client)}
+}
+
+// Remove forgets a backend: later Acquires fail with unknown-backend, and
+// its breaker and latency state are dropped. Calls already holding the
+// client finish normally (their Report becomes a no-op).
+func (p *Pool) Remove(backend string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.backends, backend)
+}
+
+// Observe records one successful call's latency in the backend's
+// windowed digest (the hedge budget's input). Failures are deliberately
+// not recorded: a timeout's latency is the timeout, and feeding it back
+// would inflate the very budget that decides when to hedge around it.
+func (p *Pool) Observe(backend string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.backends[backend]; ok {
+		st.lat.observe(d)
+	}
+}
+
+// LatencyP95 returns the backend's windowed p95 successful-call latency,
+// or false until the digest has latencyMinSamples observations (or the
+// backend is unknown).
+func (p *Pool) LatencyP95(backend string) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.backends[backend]
+	if !ok {
+		return 0, false
+	}
+	return st.lat.quantile(0.95)
 }
 
 // Backends lists the pool's backend URLs, sorted.

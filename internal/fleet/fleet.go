@@ -21,7 +21,8 @@ import (
 // defaults.
 type Config struct {
 	// Backends are the syncsimd base URLs the fleet shards over.
-	// Required, at least one.
+	// Required, at least one; more can join and leave at runtime via
+	// POST /v1/fleet/join and /v1/fleet/leave.
 	Backends []string
 	// Replicas is the virtual-node count per backend on the hash ring;
 	// 0 selects DefaultReplicas.
@@ -36,8 +37,29 @@ type Config struct {
 	// CellTimeout bounds one cell's end-to-end attempts on one backend;
 	// 0 selects 2m (the backend's own default job timeout).
 	CellTimeout time.Duration
-	// HealthInterval is the /healthz probe period; 0 selects 5s.
+	// HealthInterval is the /healthz probe period (re-jittered ±20%
+	// every cycle); 0 selects 5s.
 	HealthInterval time.Duration
+	// HedgeAfter is the static latency budget before a cell is
+	// speculatively re-issued to the next ring-order backend, used until
+	// a backend's windowed latency digest has enough samples to supply
+	// its observed p95 instead. 0 selects 500ms; negative disables
+	// hedging entirely.
+	HedgeAfter time.Duration
+	// HedgeMin floors the observed-p95 hedge budget so a streak of
+	// cache-hit-fast responses cannot drive the budget toward zero and
+	// hedge every request. 0 selects 25ms.
+	HedgeMin time.Duration
+	// DrainTimeout bounds how long a leave waits for in-flight attempts
+	// on the departing backend; 0 selects 30s.
+	DrainTimeout time.Duration
+	// Quotas, when non-empty, enforces per-tenant admission budgets on
+	// /v1/sweep and /v1/sim (token bucket per sanitized tenant label;
+	// over-quota answers 429 with a tenant-scoped Retry-After).
+	Quotas map[string]server.Quota
+	// QuotaNow is the quota clock; nil selects time.Now (tests inject a
+	// fake).
+	QuotaNow func() time.Time
 	// ResultCacheSize bounds the coordinator's merged-sweep L1; 0
 	// selects 64; negative disables it.
 	ResultCacheSize int
@@ -56,6 +78,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HealthInterval == 0 {
 		c.HealthInterval = 5 * time.Second
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 500 * time.Millisecond
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
 	}
 	switch {
 	case c.ResultCacheSize == 0:
@@ -80,6 +111,7 @@ type backendStats struct {
 	routed     counter
 	retried    counter
 	failedOver counter
+	hedged     counter
 }
 
 // counter is a tiny atomic counter (the fleet does not need the metrics
@@ -90,23 +122,38 @@ type counter struct{ v atomic.Uint64 }
 func (c *counter) inc()          { c.v.Add(1) }
 func (c *counter) value() uint64 { return c.v.Load() }
 
-// Coordinator is the fleet front end: it owns the ring, the per-backend
-// client pool with circuit breakers, the health prober, a merged-sweep L1
-// and (optionally) the shared L2 store, and serves the same /v1 job
-// surface as a single syncsimd.
+// Coordinator is the fleet front end: it owns the epoch-versioned
+// membership ring, the per-backend client pool with circuit breakers and
+// latency digests, the health prober, the cell single-flight, a
+// merged-sweep L1 and (optionally) the shared L2 store, and serves the
+// same /v1 job surface as a single syncsimd plus the fleet admin plane.
 type Coordinator struct {
-	cfg    Config
-	ring   *Ring
-	pool   *client.Pool
-	health *healthTracker
-	cache  *sweepLRU
-	store  store.Store
+	cfg     Config
+	members *membership
+	pool    *client.Pool
+	health  *healthTracker
+	cache   *sweepLRU
+	store   store.Store
+	flights *cellFlights
+	quota   *server.QuotaSet
 
-	stats     map[string]*backendStats
+	statsMu sync.Mutex
+	stats   map[string]*backendStats
+
 	sweeps    counter
 	cells     counter
 	cacheHits counter
 	storeHits counter
+	coalesced counter
+	hedged    counter
+	hedgeWins counter
+	throttled counter
+
+	// baseCtx outlives any single request: coalesced cell jobs run under
+	// it so a leader's disconnect does not kill the work its followers
+	// still wait on. Close cancels it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	logf func(format string, args ...any)
 	mux  *http.ServeMux
@@ -120,14 +167,19 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:   cfg,
-		ring:  ring,
-		pool:  client.NewPool(ring.Members(), cfg.Pool),
-		cache: newSweepLRU(cfg.ResultCacheSize),
-		store: cfg.Store,
-		stats: make(map[string]*backendStats, len(ring.Members())),
-		logf:  cfg.Logf,
+		cfg:        cfg,
+		members:    newMembership(ring),
+		pool:       client.NewPool(ring.Members(), cfg.Pool),
+		cache:      newSweepLRU(cfg.ResultCacheSize),
+		store:      cfg.Store,
+		flights:    newCellFlights(),
+		quota:      server.NewQuotaSet(cfg.Quotas, cfg.QuotaNow),
+		stats:      make(map[string]*backendStats, len(ring.Members())),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		logf:       cfg.Logf,
 	}
 	for _, b := range ring.Members() {
 		c.stats[b] = &backendStats{}
@@ -140,6 +192,8 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("/v1/sim", c.handleSim)
 	c.mux.HandleFunc("/v1/capabilities", c.handleCapabilities)
 	c.mux.HandleFunc("/v1/fleet/status", c.handleStatus)
+	c.mux.HandleFunc("/v1/fleet/join", c.handleJoin)
+	c.mux.HandleFunc("/v1/fleet/leave", c.handleLeave)
 	c.mux.HandleFunc("/healthz", c.handleHealthz)
 	return c, nil
 }
@@ -147,12 +201,32 @@ func New(cfg Config) (*Coordinator, error) {
 // Handler returns the coordinator's HTTP handler.
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
-// Ring exposes the routing ring (tests pick their mid-sweep victim from
-// it so the kill deterministically owns cells).
-func (c *Coordinator) Ring() *Ring { return c.ring }
+// Ring exposes the current routing ring (tests pick their mid-sweep
+// victim from it so the kill deterministically owns cells).
+func (c *Coordinator) Ring() *Ring { return c.members.load().ring }
 
-// Close stops the health prober.
-func (c *Coordinator) Close() { c.health.stopProbes() }
+// Epoch exposes the current membership epoch.
+func (c *Coordinator) Epoch() uint64 { return c.members.load().epoch }
+
+// Close stops the health prober and cancels any coalesced jobs still
+// running under the coordinator's lifetime context.
+func (c *Coordinator) Close() {
+	c.health.stopProbes()
+	c.baseCancel()
+}
+
+// statsFor returns the backend's counter row, creating it on first use —
+// membership is dynamic, so rows appear when members do.
+func (c *Coordinator) statsFor(b string) *backendStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	st, ok := c.stats[b]
+	if !ok {
+		st = &backendStats{}
+		c.stats[b] = st
+	}
+	return st
+}
 
 func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -192,10 +266,28 @@ func jobContext(r *http.Request) context.Context {
 	return ctx
 }
 
+// admitTenant enforces the per-tenant quota at the coordinator's front
+// door, before any planning or routing: an over-quota tenant's request
+// spends nothing but its own bucket. Tenants without a configured quota
+// (including the untenanted) pass through untouched.
+func (c *Coordinator) admitTenant(w http.ResponseWriter, r *http.Request) bool {
+	tenant := server.TenantLabel(r.Header.Get(api.HeaderTenant))
+	wait, ok := c.quota.Admit(tenant)
+	if !ok {
+		c.throttled.inc()
+		w.Header().Set(api.HeaderRetryAfter, server.QuotaRetryAfter(wait))
+		http.Error(w, fmt.Sprintf("tenant %q over quota; retry later", tenant), http.StatusTooManyRequests)
+	}
+	return ok
+}
+
 func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !c.admitTenant(w, r) {
 		return
 	}
 	var req api.SweepRequest
@@ -231,8 +323,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // runSweep fans the plan's cells across the ring and merges the results.
-// One failed cell fails the sweep (after its own ring-order failover):
-// a partial sweep would not be bit-identical to anything.
+// One failed cell fails the sweep (after its own ring-order failover,
+// hedging, and epoch re-route): a partial sweep would not be
+// bit-identical to anything.
 func (c *Coordinator) runSweep(ctx context.Context, plan server.SweepPlan) (*api.SweepPayload, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -270,69 +363,72 @@ func (c *Coordinator) runSweep(ctx context.Context, plan server.SweepPlan) (*api
 	return MergeSweep(plan, results)
 }
 
-// runCell serves one cell: shared store first, then the ring's failover
-// order — primary, then each next distinct backend — skipping backends
-// whose health probe or circuit breaker says no, and falling back to
-// ignoring health verdicts when every backend looks down (probes can be
-// stale; the circuit breaker still guards the actual call).
+// runCell serves one cell: shared store first, then — deduplicated
+// through the cell single-flight — the hedged race over the ring's
+// failover order (see routeCell).
 func (c *Coordinator) runCell(ctx context.Context, plan server.SimPlan) (*api.SimPayload, error) {
 	c.cells.inc()
 	if p := c.cellFromStore(plan.Key); p != nil {
 		return p, nil
 	}
-
-	order := c.ring.Order(RouteKey(plan.Route))
-	candidates := make([]string, 0, len(order))
-	for _, b := range order {
-		if c.health.ok(b) {
-			candidates = append(candidates, b)
-		}
+	payload, shared, err := c.flights.do(ctx, c.baseCtx, plan.Key, func(jobCtx context.Context) (*api.SimPayload, error) {
+		return c.routeCell(jobCtx, plan)
+	})
+	if shared {
+		c.coalesced.inc()
 	}
-	if len(candidates) == 0 {
-		candidates = order
-	}
+	return payload, err
+}
 
-	var last error
-	for attempt, b := range candidates {
-		cl, err := c.pool.Acquire(b)
-		if err != nil {
-			last = err
-			continue
-		}
-		if attempt == 0 {
-			c.stats[b].routed.inc()
-		} else {
-			c.stats[b].retried.inc()
-		}
-		cellCtx, cancel := context.WithTimeout(ctx, c.cfg.CellTimeout)
-		resp, err := cl.Sim(cellCtx, plan.Request)
-		cancel()
-		c.pool.Report(b, err)
-		if err == nil {
-			if b != order[0] {
-				c.stats[b].failedOver.inc()
+// routeCell routes one cell under the membership epoch it loads at
+// entry: the failover order is that epoch's ring order, health-filtered
+// (falling back to the full order when every backend looks down — probes
+// can be stale; the circuit breaker still guards the actual call). Only
+// after that epoch's order is exhausted does it look again: if the
+// membership advanced meanwhile, the cell re-routes once per new epoch —
+// so a sweep in flight across a join or leave finishes on whichever ring
+// can actually serve it, and the loop terminates because the epoch
+// strictly increases.
+func (c *Coordinator) routeCell(ctx context.Context, plan server.SimPlan) (*api.SimPayload, error) {
+	rs := c.members.load()
+	for {
+		order := rs.ring.Order(RouteKey(plan.Route))
+		candidates := make([]string, 0, len(order))
+		for _, b := range order {
+			if c.health.ok(b) {
+				candidates = append(candidates, b)
 			}
-			return resp.SimPayload, nil
+		}
+		if len(candidates) == 0 {
+			candidates = order
+		}
+		payload, err := c.raceCell(ctx, plan, candidates)
+		if err == nil {
+			return payload, nil
 		}
 		var ae *client.APIError
 		if errors.As(err, &ae) && !ae.Retryable() {
-			// The backend answered and judged the request bad; every
-			// replica would say the same. Fail the cell now.
 			return nil, err
 		}
 		if ctx.Err() != nil {
 			return nil, err
 		}
-		c.logf("fleet: cell %s on %s failed (%v), failing over", plan.Key, b, err)
-		last = err
+		next := c.members.load()
+		if next.epoch == rs.epoch {
+			return nil, err
+		}
+		c.logf("fleet: cell %s exhausted epoch %d, re-routing on epoch %d", plan.Key, rs.epoch, next.epoch)
+		rs = next
 	}
-	return nil, fmt.Errorf("fleet: no backend could serve cell %s: %w", plan.Key, last)
 }
 
 func (c *Coordinator) handleSim(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if !c.admitTenant(w, r) {
 		return
 	}
 	var req api.SimRequest
@@ -400,7 +496,7 @@ func (c *Coordinator) handleCapabilities(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	var last error
-	for _, b := range c.ring.Members() {
+	for _, b := range c.members.load().ring.Members() {
 		cl, err := c.pool.Acquire(b)
 		if err != nil {
 			last = err
@@ -421,15 +517,25 @@ func (c *Coordinator) handleCapabilities(w http.ResponseWriter, r *http.Request)
 
 // Status snapshots the fleet counters (also served on /v1/fleet/status).
 func (c *Coordinator) Status() api.FleetStatusResponse {
+	rs := c.members.load()
 	resp := api.FleetStatusResponse{
-		Replicas:  c.ring.Replicas(),
+		Epoch:     rs.epoch,
+		Replicas:  rs.ring.Replicas(),
 		Sweeps:    c.sweeps.value(),
 		Cells:     c.cells.value(),
 		CacheHits: c.cacheHits.value(),
 		StoreHits: c.storeHits.value(),
+		Coalesced: c.coalesced.value(),
+		Hedged:    c.hedged.value(),
+		HedgeWins: c.hedgeWins.value(),
+		Throttled: c.throttled.value(),
 	}
-	for _, b := range c.ring.Members() {
-		st := c.stats[b]
+	for _, b := range rs.ring.Members() {
+		st := c.statsFor(b)
+		var p95ms int64
+		if p95, ok := c.pool.LatencyP95(b); ok {
+			p95ms = p95.Milliseconds()
+		}
 		resp.Backends = append(resp.Backends, api.FleetBackend{
 			URL:        b,
 			Healthy:    c.health.ok(b),
@@ -437,6 +543,8 @@ func (c *Coordinator) Status() api.FleetStatusResponse {
 			Routed:     st.routed.value(),
 			Retried:    st.retried.value(),
 			FailedOver: st.failedOver.value(),
+			Hedged:     st.hedged.value(),
+			P95Millis:  p95ms,
 		})
 	}
 	return resp

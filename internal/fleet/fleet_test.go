@@ -109,6 +109,7 @@ func TestFleetSweepBitIdentical(t *testing.T) {
 		Backends:       backends,
 		Pool:           fastPool(),
 		HealthInterval: time.Hour, // probe once at start; the test controls the rest
+		HedgeAfter:     -1,        // the counter invariant below is about the speculation-free path
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -190,6 +191,7 @@ func TestFleetKillBackendMidSweep(t *testing.T) {
 		Pool:            fastPool(),
 		HealthInterval:  time.Hour,
 		CellConcurrency: 3,
+		HedgeAfter:      -1, // this test is about kill-driven failover, not speculation
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -380,22 +382,102 @@ func TestFleetStatusAndHealth(t *testing.T) {
 	}
 }
 
-// TestMergeSweepRejectsHoles: a missing or duplicate cell is a merge
-// error, never a silently partial sweep.
+// okPayload fabricates a well-formed payload for one plan cell: correct
+// request echo, correct result name — exactly what a healthy backend
+// returns, so tests can corrupt one field at a time.
+func okPayload(cell server.SweepCell) *api.SimPayload {
+	return &api.SimPayload{
+		Request: cell.Plan.Request,
+		Result:  &machine.Result{Name: cell.Bench},
+	}
+}
+
+// TestMergeSweepRejectsHoles: a missing, incomplete, or duplicate cell
+// set is a merge error, never a silently partial sweep.
 func TestMergeSweepRejectsHoles(t *testing.T) {
 	plan, err := server.PlanSweep(api.SweepRequest{Scale: 0.05, Seed: 1, Only: []string{"Qsort"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MergeSweep(plan, []cellResult{{cell: plan.Cells[0], payload: nil}}); err == nil {
+	full := make([]cellResult, len(plan.Cells))
+	for i, cell := range plan.Cells {
+		full[i] = cellResult{cell: cell, payload: okPayload(cell)}
+	}
+
+	if _, err := MergeSweep(plan, full[:len(full)-1]); err == nil {
+		t.Error("merge with fewer results than plan cells succeeded")
+	}
+	hole := append([]cellResult{}, full...)
+	hole[0].payload = nil
+	if _, err := MergeSweep(plan, hole); err == nil {
 		t.Error("merge with nil payload succeeded")
 	}
-	payload := &api.SimPayload{Result: &machine.Result{Name: "Qsort"}}
-	dup := []cellResult{
-		{cell: plan.Cells[0], payload: payload},
-		{cell: plan.Cells[0], payload: payload},
-	}
+	dup := append([]cellResult{}, full...)
+	dup[1] = dup[0] // cell 0 twice, cell 1 absent
 	if _, err := MergeSweep(plan, dup); err == nil {
 		t.Error("merge with duplicate cell succeeded")
 	}
+}
+
+// TestMergeSweepEdgePaths: the degenerate shapes — an empty plan merges
+// to an empty payload, a single-cell plan merges to exactly one outcome
+// with one model — and a backend answering for the wrong cell (wrong
+// request echo, or right request but a result named for another
+// benchmark) fails the sweep rather than poisoning its bytes.
+func TestMergeSweepEdgePaths(t *testing.T) {
+	t.Run("empty sweep", func(t *testing.T) {
+		p, err := MergeSweep(server.SweepPlan{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Outcomes) != 0 || p.Report.Tasks != 0 {
+			t.Errorf("empty merge = %+v", p)
+		}
+	})
+
+	plan, err := server.PlanSweep(api.SweepRequest{Scale: 0.05, Seed: 1, Only: []string{"Qsort"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("single cell", func(t *testing.T) {
+		solo := plan
+		solo.Cells = plan.Cells[:1]
+		p, err := MergeSweep(solo, []cellResult{{cell: solo.Cells[0], payload: okPayload(solo.Cells[0])}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Outcomes) != 1 || len(p.Outcomes[0].Results) != 1 || p.Report.Tasks != 1 {
+			t.Errorf("single-cell merge = %+v", p)
+		}
+		if p.Outcomes[0].Name != solo.Cells[0].Bench {
+			t.Errorf("outcome name = %q", p.Outcomes[0].Name)
+		}
+	})
+
+	t.Run("wrong request echo", func(t *testing.T) {
+		results := make([]cellResult, len(plan.Cells))
+		for i, cell := range plan.Cells {
+			results[i] = cellResult{cell: cell, payload: okPayload(cell)}
+		}
+		bad := *results[0].payload
+		bad.Request.Seed++ // a payload computed for someone else's cell
+		results[0].payload = &bad
+		if _, err := MergeSweep(plan, results); err == nil {
+			t.Error("merge accepted a payload echoing the wrong request")
+		}
+	})
+
+	t.Run("wrong result name", func(t *testing.T) {
+		results := make([]cellResult, len(plan.Cells))
+		for i, cell := range plan.Cells {
+			results[i] = cellResult{cell: cell, payload: okPayload(cell)}
+		}
+		bad := *results[0].payload
+		bad.Result = &machine.Result{Name: "Grav"}
+		results[0].payload = &bad
+		if _, err := MergeSweep(plan, results); err == nil {
+			t.Error("merge accepted a result named for another benchmark")
+		}
+	})
 }

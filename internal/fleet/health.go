@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -13,11 +14,16 @@ import (
 // network round trip per cell. A backend with no probe yet counts as
 // healthy — the circuit breaker and ring failover catch it on first use;
 // optimism here just avoids a cold-start thundering probe.
+//
+// The probe period is re-jittered ±20% every cycle: N coordinators (or
+// one coordinator restarted alongside its fleet) probing on identical
+// clocks would otherwise converge into synchronized probe storms, with
+// every backend answering N health checks in the same instant forever.
 type healthTracker struct {
-	clients  map[string]*client.Client
 	interval time.Duration
 
 	mu      sync.Mutex
+	clients map[string]*client.Client
 	healthy map[string]bool
 
 	stop   chan struct{}
@@ -32,26 +38,57 @@ func newHealthTracker(backends []string, interval time.Duration) *healthTracker 
 		healthy:  make(map[string]bool, len(backends)),
 	}
 	for _, b := range backends {
-		// Health probes bypass the circuit breaker on purpose: they are
-		// how an open circuit's backend proves it came back.
-		h.clients[b] = client.New(b, client.Config{})
-		h.healthy[b] = true
+		h.addLocked(b)
 	}
 	return h
 }
 
-// start launches the probe loop; idempotent stop() ends it.
+// addLocked registers a backend; the caller holds h.mu (or, at
+// construction, exclusive ownership).
+func (h *healthTracker) addLocked(b string) {
+	if _, ok := h.clients[b]; ok {
+		return
+	}
+	// Health probes bypass the circuit breaker on purpose: they are
+	// how an open circuit's backend proves it came back.
+	h.clients[b] = client.New(b, client.Config{})
+	h.healthy[b] = true
+}
+
+// add starts tracking a backend (joined member), optimistic until its
+// first probe.
+func (h *healthTracker) add(b string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.addLocked(b)
+}
+
+// remove stops tracking a backend (departed member).
+func (h *healthTracker) remove(b string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.clients, b)
+	delete(h.healthy, b)
+}
+
+// jitteredInterval spreads one probe period by ±20%: base × (0.8 + 0.4u)
+// for u uniform in [0,1).
+func jitteredInterval(base time.Duration, u float64) time.Duration {
+	return time.Duration(float64(base) * (0.8 + 0.4*u))
+}
+
+// start launches the probe loop; idempotent stopProbes() ends it.
 func (h *healthTracker) start() {
 	h.stop = make(chan struct{})
 	h.done = make(chan struct{})
 	go func() {
 		defer close(h.done)
-		t := time.NewTicker(h.interval)
-		defer t.Stop()
 		h.probeAll()
 		for {
+			t := time.NewTimer(jitteredInterval(h.interval, rand.Float64()))
 			select {
 			case <-h.stop:
+				t.Stop()
 				return
 			case <-t.C:
 				h.probeAll()
@@ -74,10 +111,20 @@ func (h *healthTracker) stopProbes() {
 	}
 }
 
-// probeAll checks every backend concurrently with a short deadline.
+// probeAll checks every backend concurrently with a short deadline. The
+// member set is snapshotted first so a join/leave during the sweep
+// neither blocks nor races it; verdicts for members removed mid-probe
+// are dropped.
 func (h *healthTracker) probeAll() {
-	var wg sync.WaitGroup
+	h.mu.Lock()
+	snapshot := make(map[string]*client.Client, len(h.clients))
 	for b, c := range h.clients {
+		snapshot[b] = c
+	}
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for b, c := range snapshot {
 		wg.Add(1)
 		go func(b string, c *client.Client) {
 			defer wg.Done()
@@ -85,7 +132,9 @@ func (h *healthTracker) probeAll() {
 			defer cancel()
 			ok := c.Healthy(ctx)
 			h.mu.Lock()
-			h.healthy[b] = ok
+			if _, still := h.clients[b]; still {
+				h.healthy[b] = ok
+			}
 			h.mu.Unlock()
 		}(b, c)
 	}

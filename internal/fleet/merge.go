@@ -25,6 +25,9 @@ type cellResult struct {
 // cells' (and so differ run to run exactly as a single node's do), which
 // is why bit-identity is asserted through CanonicalizeSweep.
 func MergeSweep(plan server.SweepPlan, results []cellResult) (*api.SweepPayload, error) {
+	if len(results) != len(plan.Cells) {
+		return nil, fmt.Errorf("fleet: merge got %d results for a %d-cell plan", len(results), len(plan.Cells))
+	}
 	p := &api.SweepPayload{Request: plan.Request}
 	var suiteRep metrics.SuiteReport
 	// byBench maps benchmark → outcome index: appending to p.Outcomes can
@@ -33,6 +36,17 @@ func MergeSweep(plan server.SweepPlan, results []cellResult) (*api.SweepPayload,
 	for _, r := range results {
 		if r.payload == nil || r.payload.Result == nil {
 			return nil, fmt.Errorf("fleet: cell %s/%s has no result", r.cell.Bench, r.cell.Model)
+		}
+		// A payload that echoes a different request than the cell asked
+		// for is a misrouted or corrupted answer (a buggy backend, a
+		// cache collision); merging it would silently poison the sweep's
+		// bit-identity, so it fails the sweep instead.
+		if r.payload.Request != r.cell.Plan.Request {
+			return nil, fmt.Errorf("fleet: cell %s/%s got a payload for the wrong request (%+v)",
+				r.cell.Bench, r.cell.Model, r.payload.Request)
+		}
+		if got := r.payload.Result.Name; got != r.cell.Bench {
+			return nil, fmt.Errorf("fleet: cell %s/%s got a result named %q", r.cell.Bench, r.cell.Model, got)
 		}
 		idx, ok := byBench[r.cell.Bench]
 		if !ok {

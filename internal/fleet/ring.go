@@ -84,6 +84,40 @@ func NewRing(members []string, replicas int) (*Ring, error) {
 // Members returns the distinct members, sorted.
 func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
 
+// Has reports whether m is a ring member.
+func (r *Ring) Has(m string) bool {
+	for _, x := range r.members {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// WithMember returns a new ring with m added (the receiver is immutable —
+// live membership swaps whole rings atomically). A member's virtual
+// points depend only on its own URL, so every surviving member keeps its
+// exact point positions: a join moves only the ~1/(N+1) key share the new
+// member's points claim (pinned by TestRingJoinRemapsFraction).
+func (r *Ring) WithMember(m string) (*Ring, error) {
+	return NewRing(append(r.Members(), m), r.replicas)
+}
+
+// WithoutMember returns a new ring with m removed; the ~1/N share m owned
+// redistributes over the survivors, who keep every other key.
+func (r *Ring) WithoutMember(m string) (*Ring, error) {
+	var rest []string
+	for _, x := range r.members {
+		if x != m {
+			rest = append(rest, x)
+		}
+	}
+	if len(rest) == len(r.members) {
+		return nil, fmt.Errorf("fleet: %q is not a ring member", m)
+	}
+	return NewRing(rest, r.replicas)
+}
+
 // Replicas returns the virtual-node count per member.
 func (r *Ring) Replicas() int { return r.replicas }
 

@@ -131,6 +131,74 @@ func TestRingRemovalRemapsFraction(t *testing.T) {
 	}
 }
 
+// TestRingJoinLeaveRemapBound: the live-membership derivations preserve
+// §18.2's remap bound on the real 240-key corpus. A join moves keys only
+// onto the joiner (~1/N of the corpus; every surviving owner keeps every
+// key it had), and the leave of that same member restores the exact
+// pre-join assignment — so a join+leave round trip is a routing no-op.
+func TestRingJoinLeaveRemapBound(t *testing.T) {
+	base, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const joiner = "http://d:1"
+	joined, err := base.WithMember(joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined.Has(joiner) || base.Has(joiner) {
+		t.Fatal("Has disagrees with membership")
+	}
+
+	keys := realKeys(t,
+		[]int64{0, 1, 2, 3, 5, 7, 11, 42, 1337, 9000},
+		[]float64{0.01, 0.05, 0.2, 1.0})
+	if len(keys) != 240 {
+		t.Fatalf("key corpus = %d, want 240", len(keys))
+	}
+
+	var movedToJoiner int
+	for _, key := range keys {
+		before, after := base.Owner(key), joined.Owner(key)
+		if before == after {
+			continue
+		}
+		if after != joiner {
+			t.Errorf("join moved key %q %q → %q — only the joiner may gain keys", key, before, after)
+			continue
+		}
+		movedToJoiner++
+	}
+	// The joiner's share should be ~1/4 of the corpus; same generous
+	// vnode-unevenness bounds as TestRingRemovalRemapsFraction.
+	frac := float64(movedToJoiner) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("joiner took %.0f%% of keys, want ~25%% (10%%–45%%)", 100*frac)
+	}
+
+	left, err := joined.WithoutMember(joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		if got, want := left.Owner(key), base.Owner(key); got != want {
+			t.Errorf("key %q owned by %q after join+leave round trip, want %q", key, got, want)
+		}
+	}
+
+	// Removing a never-member errors; removing down to zero errors.
+	if _, err := base.WithoutMember("http://nobody:1"); err == nil {
+		t.Error("WithoutMember(non-member) succeeded")
+	}
+	solo, err := NewRing([]string{"http://only:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.WithoutMember("http://only:1"); err == nil {
+		t.Error("removing the last member succeeded")
+	}
+}
+
 // TestRingValidation: empty and duplicate member lists.
 func TestRingValidation(t *testing.T) {
 	if _, err := NewRing(nil, 0); err == nil {

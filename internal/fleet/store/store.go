@@ -41,10 +41,23 @@ type Disk struct {
 	dir string
 }
 
-// OpenDisk opens (creating if needed) the store directory.
+// OpenDisk opens (creating if needed) the store directory and sweeps
+// orphaned tmp files left by a process that crashed mid-Put. A tmp file
+// is invisible to Get (entries are only ever the renamed *.json files),
+// but a crash-looping fleet would otherwise accrete them forever. The
+// sweep is best-effort and safe with concurrent writers: a *live* tmp
+// file could in principle be swept between CreateTemp and Rename, but
+// mounts happen at process start, before this store is handed to any
+// writer — and even then the loser only drops one cache write.
 func OpenDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	orphans, err := filepath.Glob(filepath.Join(dir, "put-*.tmp"))
+	if err == nil {
+		for _, o := range orphans {
+			os.Remove(o) //nolint:errcheck // best-effort hygiene
+		}
 	}
 	return &Disk{dir: dir}, nil
 }

@@ -100,6 +100,45 @@ func TestDiskDamagedEntryIsMiss(t *testing.T) {
 	}
 }
 
+// TestDiskMountSweepsOrphanedTmp: a tmp file left by a crash mid-Put is
+// removed at the next mount and is never served as an entry.
+func TestDiskMountSweepsOrphanedTmp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "l2")
+	d, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("survivor", []byte("kept"))
+
+	// Plant what a process killed between CreateTemp and Rename leaves
+	// behind: a half-written tmp file in the store directory.
+	orphan := filepath.Join(dir, "put-1234crashed.tmp")
+	if err := os.WriteFile(orphan, []byte(`{"partial":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan tmp survived remount (stat err = %v)", err)
+	}
+	// The sweep is surgical: real entries are untouched, and no key can
+	// ever read the orphan (entries are *.json only).
+	if got, ok := d.Get("survivor"); !ok || string(got) != "kept" {
+		t.Errorf("survivor entry lost by sweep: %q, %v", got, ok)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			t.Errorf("non-entry file %q still in store", e.Name())
+		}
+	}
+}
+
 // TestDiskConcurrentPutGet: hammer one key from many goroutines; every
 // read must observe either a miss or one of the complete blobs — never a
 // torn write. Run with -race.

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Quota is one tenant's admission budget: a token bucket refilled at RPS
+// tokens per second up to Burst. Each admitted job request spends one
+// token; an empty bucket answers 429 with a tenant-scoped Retry-After.
+type Quota struct {
+	// RPS is the sustained refill rate in requests per second (> 0).
+	RPS float64
+	// Burst is the bucket capacity — how many requests a tenant may
+	// front-load after an idle spell (≥ 1).
+	Burst int
+}
+
+// ParseQuotas parses a repeatable `-quota tenant=rps:burst` flag plane
+// into a quota table keyed by sanitized tenant label (the same
+// sanitisation applied to the X-Tenant header, so the flag matches the
+// wire whatever the spelling). Burst may be omitted (`tenant=rps`), in
+// which case it defaults to ceil(rps), never below 1.
+func ParseQuotas(specs []string) (map[string]Quota, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]Quota, len(specs))
+	for _, spec := range specs {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("quota %q: want tenant=rps:burst", spec)
+		}
+		tenant := sanitizeTenant(name)
+		if tenant == "" {
+			return nil, fmt.Errorf("quota %q: empty tenant", spec)
+		}
+		rpsStr, burstStr, hasBurst := strings.Cut(rest, ":")
+		rps, err := strconv.ParseFloat(rpsStr, 64)
+		if err != nil || rps <= 0 || math.IsInf(rps, 0) {
+			return nil, fmt.Errorf("quota %q: rps must be a positive number", spec)
+		}
+		burst := int(math.Ceil(rps))
+		if hasBurst {
+			if burst, err = strconv.Atoi(burstStr); err != nil || burst < 1 {
+				return nil, fmt.Errorf("quota %q: burst must be a positive integer", spec)
+			}
+		}
+		if burst < 1 {
+			burst = 1
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("quota %q: tenant %q configured twice", spec, tenant)
+		}
+		out[tenant] = Quota{RPS: rps, Burst: burst}
+	}
+	return out, nil
+}
+
+// tenantBucket is one tenant's live token bucket.
+type tenantBucket struct {
+	quota  Quota
+	tokens float64
+	last   time.Time
+}
+
+// QuotaSet enforces a quota table. Tenants without a configured quota —
+// including the empty (untenanted) label — are always admitted: quotas
+// bound the tenants the operator named, they do not gate the world (the
+// global admission queue still sheds aggregate overload). Safe for
+// concurrent use.
+type QuotaSet struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+}
+
+// NewQuotaSet builds an enforcement set over the table (nil/empty table
+// → nil set; a nil *QuotaSet admits everything). now is the clock; nil
+// selects time.Now (tests inject a fake).
+func NewQuotaSet(quotas map[string]Quota, now func() time.Time) *QuotaSet {
+	if len(quotas) == 0 {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	s := &QuotaSet{now: now, buckets: make(map[string]*tenantBucket, len(quotas))}
+	t0 := now()
+	for tenant, q := range quotas {
+		// Buckets start full: a freshly booted server owes every tenant
+		// its burst, not a cold start.
+		s.buckets[tenant] = &tenantBucket{quota: q, tokens: float64(q.Burst), last: t0}
+	}
+	return s
+}
+
+// Admit spends one token from the tenant's bucket. ok=false means the
+// tenant is over quota; retryAfter is how long until the bucket refills
+// one whole token — the tenant-scoped Retry-After hint (other tenants
+// and the untenanted are unaffected, which is the point).
+func (s *QuotaSet) Admit(tenant string) (retryAfter time.Duration, ok bool) {
+	if s == nil {
+		return 0, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, bound := s.buckets[tenant]
+	if !bound {
+		return 0, true
+	}
+	now := s.now()
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * b.quota.RPS
+		if max := float64(b.quota.Burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / b.quota.RPS
+	return time.Duration(need * float64(time.Second)), false
+}
+
+// TenantLabel folds a raw X-Tenant header value into the sanitized label
+// quotas and per-tenant counters are keyed by (lowercase [a-z0-9_-], ≤32
+// bytes, empty stays empty). Exported for the fleet coordinator, which
+// must agree with the backends about which bucket a header lands in.
+func TenantLabel(raw string) string { return sanitizeTenant(raw) }
+
+// QuotaRetryAfter renders a quota Retry-After duration as whole seconds,
+// rounded up and floored at 1 (a 0 would invite an immediate retry of a
+// request just rejected for being too frequent).
+func QuotaRetryAfter(d time.Duration) string { return retryAfterHeader(d) }
+
+// retryAfterHeader renders a Retry-After duration as whole seconds,
+// rounded up and floored at 1 (a 0 would invite an immediate retry of a
+// request just rejected for being too frequent).
+func retryAfterHeader(d time.Duration) string {
+	sec := int(math.Ceil(d.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
+}

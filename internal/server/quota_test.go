@@ -1,0 +1,183 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"syncsim/internal/api"
+)
+
+func TestParseQuotas(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		got, err := ParseQuotas([]string{"alice=2:5", "bob=0.5"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q := got["alice"]; q.RPS != 2 || q.Burst != 5 {
+			t.Errorf("alice = %+v", q)
+		}
+		// Omitted burst defaults to ceil(rps), floored at 1.
+		if q := got["bob"]; q.RPS != 0.5 || q.Burst != 1 {
+			t.Errorf("bob = %+v", q)
+		}
+	})
+	t.Run("sanitised key matches the wire", func(t *testing.T) {
+		got, err := ParseQuotas([]string{"Team Alpha=1:1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := got[TenantLabel("Team Alpha")]; !ok {
+			t.Errorf("flag tenant and header tenant land in different buckets: %v", got)
+		}
+	})
+	t.Run("rejects", func(t *testing.T) {
+		for _, spec := range []string{"noequals", "=1:1", "a=zero", "a=-1", "a=1:0", "a=1:x"} {
+			if _, err := ParseQuotas([]string{spec}); err == nil {
+				t.Errorf("ParseQuotas(%q) succeeded", spec)
+			}
+		}
+		if _, err := ParseQuotas([]string{"a=1:1", "A=2:2"}); err == nil {
+			t.Error("duplicate tenant (after sanitisation) accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if got, err := ParseQuotas(nil); err != nil || got != nil {
+			t.Errorf("ParseQuotas(nil) = %v, %v", got, err)
+		}
+	})
+}
+
+func TestQuotaSetAdmit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := NewQuotaSet(map[string]Quota{"alice": {RPS: 2, Burst: 3}}, clock)
+
+	// Bucket starts full: the whole burst is admitted back to back.
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Admit("alice"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	wait, ok := s.Admit("alice")
+	if ok {
+		t.Fatal("request past the burst admitted")
+	}
+	// Empty bucket at 2 rps: one whole token is 500ms away.
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Errorf("retryAfter = %v, want (0, 500ms]", wait)
+	}
+
+	// Refill is proportional to elapsed time on the injected clock.
+	now = now.Add(time.Second) // +2 tokens
+	if _, ok := s.Admit("alice"); !ok {
+		t.Error("rejected after refill")
+	}
+	if _, ok := s.Admit("alice"); !ok {
+		t.Error("second refilled token rejected")
+	}
+	if _, ok := s.Admit("alice"); ok {
+		t.Error("admitted past the refilled tokens")
+	}
+	// Refill caps at Burst, never beyond.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Admit("alice"); !ok {
+			t.Fatalf("post-idle burst request %d rejected", i)
+		}
+	}
+	if _, ok := s.Admit("alice"); ok {
+		t.Error("idle spell grew the bucket past Burst")
+	}
+
+	// Unconfigured tenants and the untenanted label are never throttled.
+	for i := 0; i < 100; i++ {
+		if _, ok := s.Admit("bob"); !ok {
+			t.Fatal("unconfigured tenant throttled")
+		}
+		if _, ok := s.Admit(""); !ok {
+			t.Fatal("untenanted request throttled")
+		}
+	}
+
+	// A nil set admits everything (quotas not configured).
+	var nilSet *QuotaSet
+	if _, ok := nilSet.Admit("alice"); !ok {
+		t.Error("nil QuotaSet throttled")
+	}
+}
+
+// TestQuotaHTTPEnforcement: the acceptance scenario end to end. Two
+// tenants, one quota: the quota'd tenant's over-budget request is shed
+// with 429 + a tenant-scoped Retry-After while its in-budget requests,
+// the other tenant's, and untenanted traffic all succeed unchanged.
+func TestQuotaHTTPEnforcement(t *testing.T) {
+	now := time.Unix(5000, 0)
+	s := New(Config{
+		Workers:  2,
+		Quotas:   map[string]Quota{"alice": {RPS: 1, Burst: 2}},
+		QuotaNow: func() time.Time { return now },
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(tenant string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sim",
+			strings.NewReader(`{"bench":"Qsort","scale":0.01,"seed":3}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(api.HeaderTenant, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp
+	}
+
+	// alice's burst of 2 is admitted; the third is shed.
+	for i := 0; i < 2; i++ {
+		if resp := post("alice"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("alice in-budget request %d = %d", i, resp.StatusCode)
+		}
+	}
+	over := post("alice")
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over-budget request = %d, want 429", over.StatusCode)
+	}
+	if ra := over.Header.Get(api.HeaderRetryAfter); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive whole-seconds hint", ra)
+	}
+
+	// bob (no quota) and untenanted traffic sail through, alice's storm
+	// notwithstanding — her bucket is hers alone.
+	for i := 0; i < 4; i++ {
+		if resp := post("bob"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("bob request %d = %d although bob has no quota", i, resp.StatusCode)
+		}
+		if resp := post(""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("untenanted request %d = %d", i, resp.StatusCode)
+		}
+	}
+
+	// The clock advancing refills alice.
+	now = now.Add(2 * time.Second)
+	if resp := post("alice"); resp.StatusCode != http.StatusOK {
+		t.Errorf("alice rejected after refill: %d", resp.StatusCode)
+	}
+
+	// The quota path is visible in the metrics.
+	if got := s.reg.Snapshot().Counters["jobs_throttled"]; got != 1 {
+		t.Errorf("jobs_throttled = %d, want 1", got)
+	}
+}

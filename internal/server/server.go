@@ -87,6 +87,15 @@ type Config struct {
 	// member can serve a result any other member computed. Nil — the
 	// standalone default — disables the tier.
 	Store store.Store
+	// Quotas, when non-empty, enforces per-tenant admission budgets (see
+	// Quota and the syncsimd -quota flag): a job request whose sanitized
+	// X-Tenant label has an exhausted token bucket is rejected 429 with a
+	// tenant-scoped Retry-After before it touches the queue. Tenants not
+	// in the table — and untenanted requests — are never quota-rejected.
+	Quotas map[string]Quota
+	// QuotaNow is the quota clock; nil selects time.Now (tests inject a
+	// fake to make token refill deterministic).
+	QuotaNow func() time.Time
 	// Logf receives operational log lines (panic incidents with stacks).
 	// Nil selects log.Printf.
 	Logf func(format string, args ...any)
@@ -150,6 +159,7 @@ type Server struct {
 	storeHits *metrics.Counter // requests served from the shared L2 store
 	panicked  *metrics.Counter // jobs that panicked (recovered; 500 + incident)
 	wedged    *metrics.Counter // jobs aborted by the liveness watchdog
+	throttled *metrics.Counter // requests rejected 429 by per-tenant quotas
 	simCycles *metrics.Counter // total simulated machine cycles
 	schedIt   *metrics.Counter // total scheduler iterations (Result.Sched)
 	genTime   *metrics.Timer
@@ -160,6 +170,7 @@ type Server struct {
 
 	chaos   *chaos.Plane
 	predict *predict.Model
+	quota   *QuotaSet // nil admits everything
 	logf    func(format string, args ...any)
 
 	// tenants bounds the cardinality of per-tenant request counters:
@@ -187,6 +198,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg: cfg, chaos: cfg.Chaos, predict: cfg.Predict, logf: cfg.Logf,
 		store: cfg.Store, tenants: make(map[string]*metrics.Counter),
+		quota: NewQuotaSet(cfg.Quotas, cfg.QuotaNow),
 	}
 	s.traceCache = engine.NewTraceCacheCap(cfg.TraceCacheCap)
 	s.eng = engine.New(engine.Config{Workers: cfg.Workers, Cache: s.traceCache, Chaos: cfg.Chaos})
@@ -204,6 +216,7 @@ func New(cfg Config) *Server {
 	s.storeHits = s.reg.Counter("result_store_hits")
 	s.panicked = s.reg.Counter("jobs_panicked")
 	s.wedged = s.reg.Counter("jobs_wedged")
+	s.throttled = s.reg.Counter("jobs_throttled")
 	s.simCycles = s.reg.Counter("sim_cycles_total")
 	s.schedIt = s.reg.Counter("sched_iterations_total")
 	s.genTime = s.reg.Timer("phase_generate")
@@ -298,6 +311,7 @@ func (s *Server) gauges() map[string]int64 {
 		"trace_cache_evicted":  tc.Evictions,
 		"draining":             boolGauge(s.draining.Load()),
 		"chaos_enabled":        boolGauge(s.chaos != nil),
+		"quota_enforced":       boolGauge(s.quota != nil),
 		"predict_model_loaded": boolGauge(s.predict != nil),
 		"result_store_enabled": boolGauge(s.store != nil),
 	}
@@ -391,7 +405,20 @@ func (s *Server) admitJobRequest(w http.ResponseWriter, r *http.Request) (func()
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
 		return nil, false
 	}
-	s.countTenant(r.Header.Get(api.HeaderTenant))
+	tenant := sanitizeTenant(r.Header.Get(api.HeaderTenant))
+	s.countTenant(tenant)
+	// Quota enforcement sits before the global admission queue on
+	// purpose: one tenant's retry storm must burn its own bucket, not a
+	// queue slot every other tenant is waiting for. The Retry-After here
+	// is tenant-scoped (this bucket's refill time), unlike the 429s the
+	// queue itself sheds.
+	if wait, ok := s.quota.Admit(tenant); !ok {
+		s.throttled.Inc()
+		s.rejected.Inc()
+		w.Header().Set(api.HeaderRetryAfter, retryAfterHeader(wait))
+		http.Error(w, fmt.Sprintf("tenant %q over quota; retry later", tenant), http.StatusTooManyRequests)
+		return nil, false
+	}
 	s.inflight.Add(1)
 	return func() { s.inflight.Add(-1) }, true
 }
